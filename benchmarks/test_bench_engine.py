@@ -1,0 +1,96 @@
+"""Benchmark: raw simulator performance.
+
+Not a paper figure — a performance regression guard for the
+discrete-event kernel itself, which everything else pays for.
+Measures event-dispatch throughput, process context switches, and a
+representative end-to-end network run.
+"""
+
+from __future__ import annotations
+
+from repro.core.builder import build_network
+from repro.core.config import NetworkConfig
+from repro.core.timings import Timings
+from repro.sim.engine import Simulator, Timeout
+from repro.sim.resources import Resource
+
+
+def test_bench_event_dispatch(benchmark):
+    """Plain calendar churn: schedule/dispatch cycles."""
+
+    def run():
+        sim = Simulator()
+        count = {"n": 0}
+
+        def tick():
+            count["n"] += 1
+            if count["n"] < 50_000:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count["n"]
+
+    n = benchmark(run)
+    assert n == 50_000
+
+
+def test_bench_process_switching(benchmark):
+    """Generator-process resume cost (the firmware's currency)."""
+
+    def run():
+        sim = Simulator()
+        done = {"n": 0}
+
+        def worker():
+            for _ in range(500):
+                yield Timeout(1.0)
+            done["n"] += 1
+
+        for _ in range(100):
+            sim.process(worker())
+        sim.run()
+        return done["n"]
+
+    n = benchmark(run)
+    assert n == 100
+
+
+def test_bench_resource_contention(benchmark):
+    """FIFO resource grant/release churn under contention."""
+
+    def run():
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        finished = {"n": 0}
+
+        def worker(i):
+            for _ in range(50):
+                yield res.request(owner=i)
+                yield Timeout(1.0)
+                res.release(owner=i)
+            finished["n"] += 1
+
+        for i in range(40):
+            sim.process(worker(i))
+        sim.run()
+        return finished["n"]
+
+    n = benchmark(run)
+    assert n == 40
+
+
+def test_bench_end_to_end_pingpong(benchmark):
+    """Representative workload: a full fig6 ping-pong series."""
+
+    def run():
+        cfg = NetworkConfig(
+            firmware="itb", routing="updown",
+            timings=Timings().with_overrides(host_jitter_sigma_ns=0.0),
+        )
+        net = build_network("fig6", config=cfg)
+        res = net.ping_pong("host1", "host2", size=1024, iterations=50)
+        return res.mean_ns
+
+    mean = benchmark(run)
+    assert mean > 0

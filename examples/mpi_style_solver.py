@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""An MPI-style iterative solver on the simulated cluster.
+
+The paper's Section 3 notes that "MPI, VIA, and TCP/IP are layered
+efficiently over GM"; this example builds a miniature message-passing
+application the way an MPI program would and runs it on the simulated
+Myrinet COW, comparing wall-clock (simulated) time under up*/down* vs
+ITB routing.
+
+The application is a 1-D distributed Jacobi relaxation:
+
+* each host owns a block of the vector,
+* every iteration exchanges halo cells with both neighbours
+  (point-to-point over GM ports),
+* every few iterations the residual is agreed on with an
+  all-reduce, and an explicit barrier closes each phase —
+  the classic structure of bulk-synchronous scientific codes.
+
+Run:  python examples/mpi_style_solver.py [--switches N] [--iters K]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core.builder import build_network
+from repro.core.config import NetworkConfig
+from repro.core.timings import Timings
+from repro.gm.collectives import (
+    CollectiveContext,
+    all_reduce_sum,
+    barrier,
+    run_collective,
+)
+from repro.gm.ports import GmPort
+from repro.harness.report import format_table
+from repro.sim.engine import Event
+from repro.topology.generators import random_irregular
+
+HALO_PORT = 3
+
+
+def run_solver(routing: str, n_switches: int, iters: int,
+               block: int, seed: int) -> dict:
+    """Run the solver under one routing; return timing + stats."""
+    topo = random_irregular(n_switches, seed=seed, hosts_per_switch=1)
+    cfg = NetworkConfig(
+        firmware="itb", routing=routing, reliable=True,
+        timings=Timings().with_overrides(host_jitter_sigma_ns=0.0),
+    )
+    net = build_network(topo, config=cfg)
+    sim = net.sim
+    hosts = sorted(net.gm_hosts)
+    n = len(hosts)
+    rank_of = {h: i for i, h in enumerate(hosts)}
+    halo_ports = {h: GmPort(net.gm_hosts[h], HALO_PORT,
+                            send_tokens=8, recv_tokens=32)
+                  for h in hosts}
+    halo_bytes = 8  # one f64 boundary cell per side
+
+    t_start = sim.now
+    finished = Event(sim, name="solver-finished")
+    remaining = {"n": n}
+
+    def worker(host: int):
+        rank = rank_of[host]
+        left = hosts[(rank - 1) % n]
+        right = hosts[(rank + 1) % n]
+        port = halo_ports[host]
+        # A fast neighbour may already send iteration it+1 while we
+        # still collect iteration it: buffer early arrivals by tag.
+        early: dict[int, int] = {}
+        for it in range(iters):
+            # --- halo exchange with both neighbours ----------------
+            port.send(left, HALO_PORT, halo_bytes, tag=it)
+            port.send(right, HALO_PORT, halo_bytes, tag=it)
+            got = early.pop(it, 0)
+            while got < 2:
+                pm = yield port.receive()
+                # GM idiom: hand the receive token straight back once
+                # the buffer content has been consumed.
+                port.provide_receive_token()
+                if pm.tag == it:
+                    got += 1
+                else:
+                    early[pm.tag] = early.get(pm.tag, 0) + 1
+            # --- local relaxation sweep (compute time scales with
+            # the owned block) --------------------------------------
+            from repro.sim.engine import Timeout
+
+            yield Timeout(block * 2.0)  # ~2 ns per cell per sweep
+        remaining["n"] -= 1
+        if remaining["n"] == 0:
+            finished.succeed()
+
+    for h in hosts:
+        sim.process(worker(h), name=f"jacobi[{h}]")
+    sim.run_until_event(finished)
+    halo_time = sim.now - t_start
+
+    # --- residual agreement + closing barrier over collectives -------
+    ctx = CollectiveContext(net)
+    local_residuals = list(np.arange(1, ctx.n + 1))
+    sums = run_collective(ctx, all_reduce_sum(ctx, local_residuals))
+    assert len(set(sums)) == 1, "all-reduce disagreed"
+    run_collective(ctx, barrier(ctx))
+    total_time = sim.now - t_start
+
+    stats = net.total_stats()
+    return {
+        "routing": routing,
+        "halo_us": halo_time / 1000.0,
+        "total_us": total_time / 1000.0,
+        "messages": int(stats["packets_sent"]),
+        "forwarded": int(stats["packets_forwarded"]),
+        "residual": sums[0],
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--switches", type=int, default=12)
+    parser.add_argument("--iters", type=int, default=20)
+    parser.add_argument("--block", type=int, default=512)
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+
+    results = [
+        run_solver(routing, args.switches, args.iters, args.block,
+                   args.seed)
+        for routing in ("updown", "itb")
+    ]
+    print(format_table(
+        ["routing", "halo phase (us)", "total (us)", "packets",
+         "in-transit forwards", "global residual"],
+        [(r["routing"], r["halo_us"], r["total_us"], r["messages"],
+          r["forwarded"], r["residual"]) for r in results],
+        title=(f"1-D Jacobi on a {args.switches}-switch irregular COW,"
+               f" {args.iters} iterations"),
+    ))
+    ud, itb = results
+    speedup = ud["total_us"] / itb["total_us"]
+    print(f"\nITB routing vs up*/down*: {speedup:.2f}x"
+          f"  ({itb['forwarded']} packets took an in-transit hop)")
+    if speedup >= 1.0:
+        print("congestion relief outweighed the per-ITB cost here.")
+    else:
+        print("light nearest-neighbour traffic pays the ~1.3 us per-ITB"
+              " cost without needing the congestion relief — the paper's")
+        print("caveat that the penalty 'is only noticeable for short"
+              " packets and at low network loads'. Heavier patterns")
+        print("(see examples/irregular_cluster.py and the all-to-all"
+              " kernel of EXP-M2) flip the sign.")
+
+
+if __name__ == "__main__":
+    main()

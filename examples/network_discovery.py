@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""GM mapping phase + fault tolerance, end to end.
+
+GM provides "network mapping and route computation" and "reliable and
+ordered packet delivery in presence of network faults" (paper
+Section 3).  This example exercises both on the simulator:
+
+1. a mapper host explores an irregular fabric with scout packets,
+   reconstructing the topology one port at a time;
+2. the reconstructed map is compared against ground truth;
+3. the fabric is then degraded (random CRC corruption) and reliable
+   traffic is pushed across it — every corrupted packet is recovered
+   by retransmission.
+
+Run:  python examples/network_discovery.py [--switches N] [--seed S]
+"""
+
+import argparse
+
+from repro.core.builder import build_network
+from repro.core.config import NetworkConfig
+from repro.core.timings import Timings
+from repro.gm.discovery import discover_network
+from repro.harness.report import format_table
+from repro.network.faults import FaultPlan, install_fault_plan
+from repro.routing.spanning_tree import build_orientation
+from repro.topology.export import to_text
+from repro.topology.generators import random_irregular
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--switches", type=int, default=6)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    topo = random_irregular(args.switches, seed=args.seed,
+                            hosts_per_switch=2)
+    cfg = NetworkConfig(
+        firmware="itb", routing="itb", reliable=True,
+        timings=Timings().with_overrides(host_jitter_sigma_ns=0.0),
+    )
+    net = build_network(topo, config=cfg)
+
+    # -- ground truth -----------------------------------------------------
+    orientation = build_orientation(topo)
+    print(to_text(topo, orientation))
+
+    # -- 1. exploration ---------------------------------------------------
+    mapper = sorted(net.gm_hosts)[0]
+    result = discover_network(net, mapper)
+    print()
+    print(format_table(
+        ["quantity", "value"],
+        [
+            ("mapper host", net.topo.node_name(mapper)),
+            ("switches discovered / truth",
+             f"{result.n_switches} / {len(topo.switches())}"),
+            ("hosts discovered / truth",
+             f"{len(result.hosts)} / {len(topo.hosts())}"),
+            ("scout probes sent", result.probes_sent),
+            ("mapping time (simulated us)",
+             f"{result.elapsed_ns / 1000:.1f}"),
+        ],
+        title="mapper exploration",
+    ))
+
+    # -- 2. isomorphism check ----------------------------------------------
+    ours = sorted(result.degree(l) for l in result.switch_ports)
+    truth = sorted(len(topo.switch_neighbors(s)) for s in topo.switches())
+    print(f"\nfabric degree multiset: discovered {ours} == truth {truth}:"
+          f" {ours == truth}")
+
+    # -- 3. reliability under corruption -----------------------------------
+    plan = FaultPlan(corrupt_probability=0.3, seed=5)
+    install_fault_plan(net, plan)
+    hosts = sorted(net.gm_hosts)
+    a, b = net.gm_hosts[hosts[0]], net.gm_hosts[hosts[-1]]
+    got = []
+
+    def receiver():
+        while True:
+            msg = yield b.receive()
+            got.append(msg.tag)
+
+    net.sim.process(receiver(), name="rx")
+    n = 10
+    for i in range(n):
+        a.send(b.host, 512, tag=i)
+    # Go-back-N with ~1 ms resend timers under 30 % corruption can
+    # need many rounds for the tail messages; give it half a second.
+    net.sim.run(until=net.sim.now + 500_000_000)
+
+    print()
+    print(format_table(
+        ["quantity", "value"],
+        [
+            ("messages sent over the degraded fabric", n),
+            ("packets corrupted in flight (CRC drop)", plan.corrupted),
+            ("GM retransmissions", a.retransmissions),
+            ("delivered, complete and in order",
+             str(sorted(got) == list(range(n)))),
+        ],
+        title="reliability under 30 % CRC corruption",
+    ))
+
+
+if __name__ == "__main__":
+    main()

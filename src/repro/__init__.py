@@ -1,0 +1,18 @@
+"""repro — In-Transit Buffers on Myrinet GM, reproduced in simulation.
+
+A production-quality reproduction of Coll, Flich, Malumbres, López,
+Duato & Mora, *"A First Implementation of In-Transit Buffers on
+Myrinet GM Software"* (IPPS 2001), built on a discrete-event
+simulation of the full stack: LANai NIC, GM/MCP firmware (original
+and ITB-modified), wormhole switches with Stop&Go flow control,
+up*/down* and ITB routing, and the GM host library.
+
+Start with :func:`repro.core.build_network`; the experiment harness
+lives in :mod:`repro.harness`; ``python -m repro --help`` lists the
+CLI.  See README.md / DESIGN.md / EXPERIMENTS.md at the repository
+root.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

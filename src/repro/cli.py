@@ -1,0 +1,307 @@
+"""Command-line interface: ``python -m repro <experiment> [options]``.
+
+Subcommands regenerate individual experiments (printing the same
+tables as the benchmark suite) without going through pytest:
+
+* ``fig1`` — Figure 1 route analysis,
+* ``fig7`` — Figure 7 code-overhead series,
+* ``fig8`` — Figure 8 per-ITB overhead series,
+* ``throughput`` — EXP-M1 load sweep,
+* ``apps`` — EXP-M2 application kernels,
+* ``discover`` — run the mapper's exploration on a topology,
+* ``validate`` — measure every quick-checkable paper claim and print
+  one verdict table (exit code reflects the outcome),
+* ``all`` — regenerate the figure results and persist them to JSON
+  (``--save results.json``) for EXPERIMENTS.md refreshes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.harness.ascii_plot import line_plot
+from repro.harness.fig1 import run_fig1
+from repro.harness.fig7 import DEFAULT_SIZES, run_fig7
+from repro.harness.fig8 import run_fig8
+from repro.harness.report import format_table
+from repro.harness.throughput import run_throughput
+
+__all__ = ["main"]
+
+
+def _sizes(args) -> tuple[int, ...]:
+    if args.full:
+        return DEFAULT_SIZES
+    return (16, 128, 1024, 4096)
+
+
+def _cmd_fig1(_args) -> int:
+    r = run_fig1()
+    print(format_table(
+        ["quantity", "value"],
+        [
+            ("showcase minimal length", r.showcase_minimal_len),
+            ("showcase up*/down* length", r.showcase_updown_len),
+            ("showcase ITB inter-switch hops",
+             r.showcase_itb_inter_switch_hops),
+            ("up*/down* deadlock-free", str(r.updown_deadlock_free)),
+            ("ITB deadlock-free", str(r.itb_deadlock_free)),
+            ("minimal deadlock-free", str(r.minimal_deadlock_free)),
+            ("root crossing UD -> ITB",
+             f"{r.root_cross_updown:.2f} -> {r.root_cross_itb:.2f}"),
+        ],
+        title="Figure 1 analysis",
+    ))
+    return 0
+
+
+def _cmd_fig7(args) -> int:
+    r = run_fig7(sizes=_sizes(args), iterations=args.iterations)
+    print(format_table(
+        ["size (B)", "orig (us)", "modified (us)", "overhead (ns)",
+         "rel (%)"],
+        [(row.size, row.original_ns / 1000, row.modified_ns / 1000,
+          row.overhead_ns, row.relative_pct) for row in r.rows],
+        title="Figure 7 — overhead of the new GM/MCP code",
+    ))
+    if args.plot:
+        print()
+        print(line_plot(
+            [row.size for row in r.rows],
+            {"original": [row.original_ns / 1000 for row in r.rows],
+             "modified": [row.modified_ns / 1000 for row in r.rows]},
+            title="half-RTT (us) vs message size (B)",
+            logx=True, xlabel="size (log)",
+        ))
+    print(f"\navg overhead {r.mean_overhead_ns:.0f} ns"
+          f" (paper ~125 ns), max {r.max_overhead_ns:.0f} ns"
+          f" (paper <= 300 ns)")
+    return 0
+
+
+def _cmd_fig8(args) -> int:
+    r = run_fig8(sizes=_sizes(args), iterations=args.iterations)
+    print(format_table(
+        ["size (B)", "UD (us)", "UD-ITB (us)", "overhead (us)", "rel (%)"],
+        [(row.size, row.ud_ns / 1000, row.ud_itb_ns / 1000,
+          row.overhead_ns / 1000, row.relative_pct) for row in r.rows],
+        title="Figure 8 — per-ITB overhead",
+    ))
+    if args.plot:
+        print()
+        print(line_plot(
+            [row.size for row in r.rows],
+            {"UD": [row.ud_ns / 1000 for row in r.rows],
+             "UD-ITB": [row.ud_itb_ns / 1000 for row in r.rows]},
+            title="half-RTT (us) vs message size (B)",
+            logx=True, xlabel="size (log)",
+        ))
+    print(f"\nper-ITB overhead {r.mean_overhead_ns / 1000:.2f} us"
+          f" (paper ~1.3 us)")
+    return 0
+
+
+def _cmd_throughput(args) -> int:
+    r = run_throughput(
+        n_switches=args.switches,
+        packet_size=args.packet_size,
+        rates=tuple(args.rates),
+        duration_ns=args.duration * 1000.0,
+        warmup_ns=args.duration * 200.0,
+        hosts_per_switch=args.hosts_per_switch,
+        topo_seed=args.seed,
+    )
+    rows = []
+    for routing in ("updown", "itb"):
+        for p in r.series(routing):
+            rows.append((routing, p.offered_bytes_per_ns_per_host,
+                         p.accepted, p.mean_latency_ns / 1000))
+    print(format_table(
+        ["routing", "offered", "accepted", "latency (us)"],
+        rows,
+        title=f"EXP-M1 — {args.switches} switches",
+        float_fmt="{:.4f}",
+    ))
+    print(f"\npeak ratio ITB/UD: {r.throughput_ratio:.2f}x")
+    return 0
+
+
+def _cmd_apps(args) -> int:
+    from repro.harness.apps import run_app_comparison
+
+    results = run_app_comparison(
+        n_switches=args.switches, iterations=args.iterations,
+        message_size=args.packet_size,
+        hosts_per_switch=args.hosts_per_switch, topo_seed=args.seed,
+    )
+    by = {(r.kernel, r.routing): r for r in results}
+    kernels = sorted({r.kernel for r in results})
+    print(format_table(
+        ["kernel", "UD (us)", "ITB (us)", "speedup"],
+        [(k, by[(k, "updown")].completion_us, by[(k, "itb")].completion_us,
+          by[(k, "updown")].completion_ns / by[(k, "itb")].completion_ns)
+         for k in kernels],
+        title=f"EXP-M2 — application kernels, {args.switches} switches",
+    ))
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.harness.validation import validate_claims
+
+    report = validate_claims(
+        iterations=args.iterations,
+        include_throughput=args.throughput,
+        throughput_switches=64 if args.throughput else 0,
+    )
+    print(report.render())
+    print(f"\n{report.n_checked} claims checked;"
+          f" {'ALL HOLD' if report.all_hold else 'VIOLATIONS PRESENT'}")
+    return 0 if report.all_hold else 1
+
+
+def _cmd_all(args) -> int:
+    """Regenerate fig7/fig8 (+ optional throughput) and persist."""
+    from repro.harness.persist import save_results
+    from repro.harness.throughput import run_throughput
+
+    sizes = _sizes(args)
+    results = {
+        "fig7": run_fig7(sizes=sizes, iterations=args.iterations),
+        "fig8": run_fig8(sizes=sizes, iterations=args.iterations),
+    }
+    if args.throughput:
+        results["throughput"] = run_throughput(
+            n_switches=args.switches, packet_size=512,
+            rates=(0.02, 0.06, 0.12), duration_ns=150_000.0,
+            warmup_ns=30_000.0, hosts_per_switch=2,
+        )
+    f7, f8 = results["fig7"], results["fig8"]
+    print(f"fig7: avg overhead {f7.mean_overhead_ns:.0f} ns"
+          f" (paper ~125 ns)")
+    print(f"fig8: per-ITB overhead {f8.mean_overhead_ns / 1000:.2f} us"
+          f" (paper ~1.3 us)")
+    if args.throughput:
+        print(f"throughput: peak ratio"
+              f" {results['throughput'].throughput_ratio:.2f}x")
+    if args.save:
+        path = save_results(args.save, results,
+                            extra={"iterations": args.iterations})
+        print(f"saved to {path}")
+    return 0
+
+
+def _cmd_discover(args) -> int:
+    from repro.core.builder import build_network
+    from repro.gm.discovery import discover_network
+    from repro.topology.generators import random_irregular
+
+    if args.topology == "fig6":
+        net = build_network("fig6")
+        mapper = net.roles["host1"]
+    else:
+        topo = random_irregular(args.switches, seed=args.seed,
+                                hosts_per_switch=args.hosts_per_switch)
+        net = build_network(topo)
+        mapper = sorted(net.gm_hosts)[0]
+    m = discover_network(net, mapper)
+    print(format_table(
+        ["quantity", "value"],
+        [
+            ("mapper host", m.mapper_host),
+            ("switches discovered", m.n_switches),
+            ("hosts discovered", len(m.hosts)),
+            ("probes sent", m.probes_sent),
+            ("mapping time (us)", f"{m.elapsed_ns / 1000:.1f}"),
+        ],
+        title="GM mapper exploration",
+    ))
+    for label in sorted(m.switch_ports):
+        peers = sorted(m.switch_adjacency()[label])
+        hosts = sorted(h for h, (l, _p) in m.host_attach.items()
+                       if l == label)
+        print(f"  {label}: switches {peers}, hosts {hosts}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'A First Implementation of"
+                    " In-Transit Buffers on Myrinet GM Software'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("fig1", help="Figure 1 route analysis")
+
+    for name, help_text in (("fig7", "Figure 7 code overhead"),
+                            ("fig8", "Figure 8 per-ITB overhead")):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--full", action="store_true",
+                       help="full gm_allsize size ladder")
+        p.add_argument("--iterations", type=int, default=20)
+        p.add_argument("--plot", action="store_true",
+                       help="ASCII chart of the series")
+
+    p = sub.add_parser("throughput", help="EXP-M1 load sweep")
+    p.add_argument("--switches", type=int, default=16)
+    p.add_argument("--packet-size", type=int, default=512)
+    p.add_argument("--rates", type=float, nargs="+",
+                   default=[0.02, 0.06, 0.12])
+    p.add_argument("--duration", type=float, default=150.0,
+                   help="measurement window (us)")
+    p.add_argument("--hosts-per-switch", type=int, default=2)
+    p.add_argument("--seed", type=int, default=5)
+
+    p = sub.add_parser("apps", help="EXP-M2 application kernels")
+    p.add_argument("--switches", type=int, default=16)
+    p.add_argument("--iterations", type=int, default=3)
+    p.add_argument("--packet-size", type=int, default=1024)
+    p.add_argument("--hosts-per-switch", type=int, default=2)
+    p.add_argument("--seed", type=int, default=11)
+
+    p = sub.add_parser("all", help="regenerate figure results, optionally"
+                                   " persisting to JSON")
+    p.add_argument("--full", action="store_true")
+    p.add_argument("--iterations", type=int, default=20)
+    p.add_argument("--throughput", action="store_true")
+    p.add_argument("--switches", type=int, default=16)
+    p.add_argument("--save", type=str, default="")
+
+    p = sub.add_parser("validate", help="measure and judge every paper claim")
+    p.add_argument("--iterations", type=int, default=20)
+    p.add_argument("--throughput", action="store_true",
+                   help="include the 64-switch EXP-M1 ratio (minutes)")
+
+    p = sub.add_parser("discover", help="run the mapper's exploration")
+    p.add_argument("--topology", choices=("fig6", "random"),
+                   default="fig6")
+    p.add_argument("--switches", type=int, default=8)
+    p.add_argument("--hosts-per-switch", type=int, default=1)
+    p.add_argument("--seed", type=int, default=5)
+
+    return parser
+
+
+_COMMANDS = {
+    "fig1": _cmd_fig1,
+    "fig7": _cmd_fig7,
+    "fig8": _cmd_fig8,
+    "throughput": _cmd_throughput,
+    "apps": _cmd_apps,
+    "discover": _cmd_discover,
+    "validate": _cmd_validate,
+    "all": _cmd_all,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Parse ``argv`` and run the selected experiment command."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Public facade of the reproduction library.
+
+The quickest way in::
+
+    from repro.core import build_network, Timings
+
+    net = build_network("fig6", firmware="itb")
+    result = net.ping_pong("host1", "host2", size=1024, iterations=100)
+    print(result.half_rtt_ns)
+
+See :mod:`repro.harness` for the experiment runners that regenerate
+the paper's figures.
+
+Implementation note: the builder pulls in the whole stack (GM layer,
+firmware, fabric), parts of which import :mod:`repro.core.timings` —
+so the heavy names are resolved lazily (PEP 562) to keep the package
+import graph acyclic from any entry point.
+"""
+
+from repro.core.timings import Timings
+from repro.core.config import FirmwareKind, NetworkConfig, RoutingKind
+
+__all__ = [
+    "BuiltNetwork",
+    "FirmwareKind",
+    "NetworkConfig",
+    "RoutingKind",
+    "Timings",
+    "build_network",
+]
+
+_LAZY = {"BuiltNetwork", "build_network"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from repro.core import builder
+
+        return getattr(builder, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

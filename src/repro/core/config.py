@@ -1,0 +1,78 @@
+"""Network configuration for the builder."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.core.timings import Timings
+
+__all__ = ["FirmwareKind", "NetworkConfig", "RoutingKind"]
+
+
+class FirmwareKind(str, Enum):
+    """Which MCP runs on the NICs."""
+
+    ORIGINAL = "original"   # stock GM-1.2pre16
+    ITB = "itb"             # the paper's modified MCP
+
+
+class RoutingKind(str, Enum):
+    """Which routes the mapper stamps."""
+
+    UPDOWN = "updown"
+    ITB = "itb"
+
+
+@dataclass
+class NetworkConfig:
+    """Everything needed to instantiate a simulated installation.
+
+    Attributes
+    ----------
+    firmware:
+        Firmware on every NIC (per-host overrides via
+        ``firmware_overrides``; the paper runs the same MCP everywhere).
+    routing:
+        Mapper policy for the stamped route tables.
+    timings:
+        Timing model (derive ablation variants via
+        :meth:`Timings.with_overrides`).
+    reliable:
+        GM reliability layer (acks + retransmit).  Off by default: the
+        paper's latency tests measure the data path; turn on for
+        buffer-pool flush experiments.
+    recv_buffer_kind / pool_bytes:
+        ``"fixed"`` = stock two-buffer queues; ``"pool"`` = the
+        proposed circular buffer pool of ``pool_bytes``.
+    seed:
+        Master seed for all host-noise RNGs.
+    trace:
+        Collect a structured event trace (slower; tests use it).
+    """
+
+    firmware: FirmwareKind = FirmwareKind.ITB
+    routing: RoutingKind = RoutingKind.ITB
+    timings: Timings = field(default_factory=Timings)
+    reliable: bool = False
+    recv_buffer_kind: str = "fixed"
+    pool_bytes: int = 64 * 1024
+    seed: int = 2001
+    trace: bool = False
+    root: Optional[int] = None
+    firmware_overrides: dict = field(default_factory=dict)
+    #: Model LANai SRAM arbitration explicitly (paper Figure 2's
+    #: priority scheme).  Off by default: the calibrated firmware
+    #: cycle counts in :class:`Timings` absorb average contention;
+    #: turning it on is the EXP-A4 ablation.
+    model_memory_contention: bool = False
+
+    def __post_init__(self) -> None:
+        self.firmware = FirmwareKind(self.firmware)
+        self.routing = RoutingKind(self.routing)
+        if self.recv_buffer_kind not in ("fixed", "pool"):
+            raise ValueError(
+                f"recv_buffer_kind must be 'fixed' or 'pool',"
+                f" got {self.recv_buffer_kind!r}"
+            )

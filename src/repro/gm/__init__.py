@@ -1,0 +1,60 @@
+"""GM: the host-side message layer.
+
+GM is Myricom's message-based communication system: protected
+user-level access to the NIC, reliable ordered delivery, network
+mapping and route computation.  This package models the pieces the
+paper's evaluation exercises:
+
+* :class:`GmHost` — per-host API object (`gm_send` / `gm_receive`
+  semantics) with message segmentation at the GM MTU and an optional
+  go-back-N reliability layer (sequence numbers, acks, retransmit) —
+  the mechanism that recovers packets flushed by a full in-transit
+  buffer pool,
+* :func:`run_mapper` — the network mapper: computes routes (up*/down*
+  or ITB) and stamps route tables into every NIC's SRAM,
+* :mod:`repro.gm.allsize` — the ``gm_allsize`` ping-pong latency test
+  used for every measurement in the paper's Section 5.
+"""
+
+from repro.gm.host import GmHost, GmMessage, GmSendError
+from repro.gm.mapper import run_mapper
+from repro.gm.allsize import PingPongResult, ping_pong, allsize_sweep
+from repro.gm.ports import GmPort, GmPortError, PortMessage
+from repro.gm.collectives import (
+    CollectiveContext,
+    all_reduce_sum,
+    barrier,
+    broadcast,
+    gather,
+    run_collective,
+)
+from repro.gm.discovery import DiscoveredMap, DiscoveryError, discover_network
+from repro.gm.ip import IpDatagram, IpEndpoint, IpStats
+from repro.gm.tcp_lite import TcpLiteEndpoint, TcpStats
+
+__all__ = [
+    "CollectiveContext",
+    "DiscoveredMap",
+    "DiscoveryError",
+    "GmHost",
+    "GmMessage",
+    "GmPort",
+    "GmPortError",
+    "GmSendError",
+    "IpDatagram",
+    "IpEndpoint",
+    "IpStats",
+    "PingPongResult",
+    "PortMessage",
+    "TcpLiteEndpoint",
+    "TcpStats",
+    "all_reduce_sum",
+    "allsize_sweep",
+    "barrier",
+    "broadcast",
+    "discover_network",
+    "gather",
+    "ping_pong",
+    "run_collective",
+    "run_mapper",
+]

@@ -1,0 +1,115 @@
+"""The ``gm_allsize`` latency test.
+
+Reproduces the measurement protocol of the paper's Section 5: a
+ping-pong between two hosts, averaging the half-round-trip latency
+over N iterations per message size.  The pong direction may use a
+different route than the ping direction — this is how the Figure 8
+experiment arranges for "only one ITB in the round trip".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.gm.host import GmHost
+from repro.routing.routes import ItbRoute
+from repro.sim.engine import Event, Simulator
+
+__all__ = ["PingPongResult", "allsize_sweep", "ping_pong"]
+
+
+@dataclass
+class PingPongResult:
+    """Half-round-trip statistics for one message size."""
+
+    size: int
+    iterations: int
+    half_rtt_ns: np.ndarray  # one sample per iteration
+
+    @property
+    def mean_ns(self) -> float:
+        return float(np.mean(self.half_rtt_ns))
+
+    @property
+    def min_ns(self) -> float:
+        return float(np.min(self.half_rtt_ns))
+
+    @property
+    def max_ns(self) -> float:
+        return float(np.max(self.half_rtt_ns))
+
+    @property
+    def std_ns(self) -> float:
+        return float(np.std(self.half_rtt_ns))
+
+    @property
+    def mean_us(self) -> float:
+        return self.mean_ns / 1000.0
+
+
+def ping_pong(
+    sim: Simulator,
+    host_a: GmHost,
+    host_b: GmHost,
+    size: int,
+    iterations: int = 100,
+    warmup: int = 2,
+    route_ab: Optional[ItbRoute] = None,
+    route_ba: Optional[ItbRoute] = None,
+) -> PingPongResult:
+    """Run one ping-pong series and return half-RTT samples.
+
+    ``route_ab`` / ``route_ba`` override the NIC route tables for the
+    two directions (hand-built experiment paths).  The simulator is
+    run in place; reuse one simulator for a whole sweep.
+    """
+    samples: list[float] = []
+    finished = Event(sim, name="pingpong-finished")
+
+    def pinger():
+        for it in range(warmup + iterations):
+            t0 = sim.now
+            host_a.send(host_b.host, size, tag=it, route=route_ab)
+            msg = yield host_a.receive()
+            assert msg.src == host_b.host, "pong from unexpected host"
+            if it >= warmup:
+                samples.append((sim.now - t0) / 2.0)
+        finished.succeed()
+
+    def ponger():
+        for _ in range(warmup + iterations):
+            msg = yield host_b.receive()
+            host_b.send(host_a.host, size, tag=msg.tag, route=route_ba)
+
+    sim.process(ponger(), name="ponger")
+    sim.process(pinger(), name="pinger")
+    sim.run_until_event(finished)
+    return PingPongResult(
+        size=size, iterations=iterations, half_rtt_ns=np.asarray(samples)
+    )
+
+
+def allsize_sweep(
+    make_context,
+    sizes: Sequence[int],
+    iterations: int = 100,
+    warmup: int = 2,
+) -> list[PingPongResult]:
+    """Sweep message sizes, building a fresh network per size.
+
+    ``make_context(size)`` must return a tuple
+    ``(sim, host_a, host_b, route_ab, route_ba)``; building fresh
+    state per size keeps runs independent, like separate
+    ``gm_allsize`` invocations.
+    """
+    results = []
+    for size in sizes:
+        sim, a, b, route_ab, route_ba = make_context(size)
+        results.append(
+            ping_pong(sim, a, b, size, iterations=iterations, warmup=warmup,
+                      route_ab=route_ab, route_ba=route_ba)
+        )
+    return results

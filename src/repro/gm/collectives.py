@@ -1,0 +1,250 @@
+"""Collective operations over GM ports.
+
+MPI and other middleware are "layered efficiently over GM" (paper
+Section 3); the communication kernels that dominate distributed
+applications are collectives.  This module provides the classic
+log-depth algorithms over :class:`~repro.gm.ports.GmPort` so the
+application-level experiments (EXP-M2) and examples can express real
+workloads:
+
+* :func:`barrier` — dissemination barrier (Hensgen et al.): ceil(log2 n)
+  rounds, host ``i`` signals ``(i + 2^k) mod n`` each round,
+* :func:`broadcast` — binomial tree from a root,
+* :func:`all_reduce_sum` — reduce-to-root up a binomial tree, then
+  broadcast down (values ride in the message ``tag``).
+
+Each collective returns a list of per-host generator functions; the
+caller registers them as simulator processes (see
+:func:`run_collective` for the one-call driver used by tests).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Sequence
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import-cycle guard
+    from repro.core.builder import BuiltNetwork
+from repro.gm.ports import GmPort
+from repro.sim.engine import Event, Simulator
+
+__all__ = ["CollectiveContext", "all_reduce_sum", "barrier",
+           "broadcast", "gather", "run_collective"]
+
+#: GM port number reserved by this module for collective traffic.
+COLLECTIVE_PORT = 7
+
+
+class CollectiveContext:
+    """Ports and rank mapping for one group of hosts."""
+
+    def __init__(self, net: "BuiltNetwork", hosts: Optional[Sequence[int]] = None,
+                 message_bytes: int = 8) -> None:
+        self.net = net
+        self.sim: Simulator = net.sim
+        self.hosts = sorted(hosts if hosts is not None else net.gm_hosts)
+        if len(self.hosts) < 2:
+            raise ValueError("collectives need at least two hosts")
+        self.message_bytes = message_bytes
+        self.rank_of = {h: i for i, h in enumerate(self.hosts)}
+        self.ports: dict[int, GmPort] = {
+            h: GmPort(net.gm_hosts[h], COLLECTIVE_PORT,
+                      send_tokens=64, recv_tokens=256)
+            for h in self.hosts
+        }
+
+    @property
+    def n(self) -> int:
+        return len(self.hosts)
+
+    def host_of(self, rank: int) -> int:
+        """Host id of a rank (wraps modulo the group size)."""
+        return self.hosts[rank % self.n]
+
+    def send(self, src_rank: int, dst_rank: int, tag: int) -> None:
+        """One collective message between ranks (value in the tag)."""
+        src = self.host_of(src_rank)
+        dst = self.host_of(dst_rank)
+        self.ports[src].send(dst, COLLECTIVE_PORT, self.message_bytes,
+                             tag=tag)
+
+    def recv(self, rank: int) -> Event:
+        """Event yielding the next collective message at ``rank``."""
+        return self.ports[self.host_of(rank)].receive()
+
+
+def barrier(ctx: CollectiveContext) -> list[Callable]:
+    """Dissemination barrier: every host function returns at a time
+    >= every host's entry time.
+
+    Round-``k`` notifications from different peers can overtake each
+    other (a fast peer may already signal round ``k+1`` before our
+    round-``k`` partner signals us), so arrivals for future rounds are
+    buffered and consumed when their round comes up.
+    """
+    n = ctx.n
+    rounds = max(1, math.ceil(math.log2(n)))
+
+    def make(rank: int):
+        def proc():
+            port = ctx.ports[ctx.host_of(rank)]
+            buffered: dict[int, int] = {}
+            for k in range(rounds):
+                peer = (rank + (1 << k)) % n
+                ctx.send(rank, peer, tag=k)
+                if buffered.get(k, 0) > 0:
+                    buffered[k] -= 1
+                    continue
+                while True:
+                    pm = yield port.receive()
+                    if pm.tag == k:
+                        break
+                    buffered[pm.tag] = buffered.get(pm.tag, 0) + 1
+            return ctx.sim.now
+
+        return proc
+
+    return [make(r) for r in range(n)]
+
+
+def broadcast(ctx: CollectiveContext, root_rank: int = 0) -> list[Callable]:
+    """Binomial-tree broadcast of a value from ``root_rank``.
+
+    The value travels in the tag.  Each host function returns the
+    received value.
+    """
+    n = ctx.n
+
+    def make(rank: int):
+        def proc():
+            port = ctx.ports[ctx.host_of(rank)]
+            rel = (rank - root_rank) % n
+            if rel == 0:
+                value = 42  # the broadcast payload
+            else:
+                pm = yield port.receive()
+                value = pm.tag
+            # Forward to children: rel + 2^k for every k where
+            # 2^k > rel's low bits (standard binomial tree).
+            mask = 1
+            while mask < n:
+                if rel & (mask - 1) == rel and rel < mask:
+                    child = rel + mask
+                    if child < n:
+                        ctx.send(rank, (child + root_rank) % n, tag=value)
+                mask <<= 1
+            return value
+
+        return proc
+
+    return [make(r) for r in range(n)]
+
+
+def all_reduce_sum(ctx: CollectiveContext,
+                   values: Sequence[int]) -> list[Callable]:
+    """Sum-all-reduce: reduce up a binomial tree to rank 0, broadcast
+    the total back down.  Each host function returns the global sum."""
+    n = ctx.n
+    if len(values) != n:
+        raise ValueError("need one value per host")
+
+    def make(rank: int):
+        def proc():
+            port = ctx.ports[ctx.host_of(rank)]
+            acc = int(values[rank])
+            # --- reduce phase: receive from children, send to parent.
+            mask = 1
+            while mask < n:
+                if rank & mask:
+                    parent = rank & ~mask
+                    ctx.send(rank, parent, tag=acc)
+                    break
+                child = rank | mask
+                if child < n:
+                    pm = yield port.receive()
+                    acc += pm.tag
+                mask <<= 1
+            # --- broadcast phase: rank 0 has the total.
+            if rank == 0:
+                total = acc
+            else:
+                pm = yield port.receive()
+                total = pm.tag
+            # Children in the (root-0) binomial tree.
+            mask = 1
+            while mask < n:
+                if rank < mask and rank | mask < n:
+                    ctx.send(rank, rank | mask, tag=total)
+                mask <<= 1
+            return total
+
+        return proc
+
+    return [make(r) for r in range(n)]
+
+
+def gather(ctx: CollectiveContext, values: Sequence[int],
+           root_rank: int = 0) -> list[Callable]:
+    """Gather one value per rank at ``root_rank`` (binomial tree).
+
+    Non-root host functions return ``None``; the root's returns the
+    values ordered by rank.  Contributions ride in the message tag as
+    ``rank * SHIFT + value``, so values must be in ``[0, SHIFT)`` —
+    payload-in-tag keeps this layer free of a serialization substrate.
+    """
+    n = ctx.n
+    SHIFT = 1 << 16
+    if len(values) != n:
+        raise ValueError("need one value per host")
+    for v in values:
+        if not 0 <= int(v) < SHIFT:
+            raise ValueError(f"gather values must be in [0, {SHIFT})")
+
+    def make(rank: int):
+        def proc():
+            port = ctx.ports[ctx.host_of(rank)]
+            rel = (rank - root_rank) % n
+            collected = {rank: int(values[rank])}
+            mask = 1
+            while mask < n:
+                if rel & mask:
+                    # Forward everything collected to the tree parent.
+                    parent = ((rel & ~mask) + root_rank) % n
+                    for r, v in collected.items():
+                        ctx.send(rank, parent, tag=r * SHIFT + v)
+                    break
+                child_rel = rel | mask
+                if child_rel < n:
+                    # That child's subtree contributes this many values.
+                    expected = min(mask, n - child_rel)
+                    for _ in range(expected):
+                        pm = yield port.receive()
+                        collected[pm.tag // SHIFT] = pm.tag % SHIFT
+                mask <<= 1
+            if rel == 0:
+                return [collected[r] for r in range(n)]
+            return None
+
+        return proc
+
+    return [make(r) for r in range(n)]
+
+
+def run_collective(ctx: CollectiveContext,
+                   procs: list[Callable]) -> list:
+    """Run one collective to completion; return per-rank results."""
+    handles = [ctx.sim.process(p(), name=f"coll[{i}]")
+               for i, p in enumerate(procs)]
+    done = Event(ctx.sim, name="collective-done")
+    remaining = {"n": len(handles)}
+    for h in handles:
+        def on_done(_ev, h=h):
+            remaining["n"] -= 1
+            if remaining["n"] == 0:
+                done.succeed()
+
+        h.done_event.add_callback(on_done)
+    ctx.sim.run_until_event(done)
+    return [h.returned for h in handles]

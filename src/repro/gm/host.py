@@ -1,0 +1,315 @@
+"""GmHost: the per-host GM API with reliable ordered delivery.
+
+Models the host-software half of GM:
+
+* ``send()`` — segments a message at the GM MTU, charges host-side
+  software time (with seeded Gaussian jitter standing in for P-III
+  scheduler/cache noise), and pushes packets through the NIC firmware.
+* ``receive()`` — event-based receive from the in-order delivery queue.
+* Reliability — per-destination go-back-N: sequence numbers on data
+  packets, explicit ack packets, retransmission on timeout.  This is
+  what recovers packets flushed by a full in-transit buffer pool
+  (paper Section 4's "GM software has mechanisms to retransmit
+  missing packets").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.mcp.firmware import Firmware, TransitPacket
+from repro.mcp.packet_format import TYPE_GM
+from repro.nic.lanai import Nic
+from repro.routing.routes import ItbRoute
+from repro.sim.engine import Event, Simulator, Timeout
+from repro.sim.resources import Store
+
+__all__ = ["GmHost", "GmMessage", "GmSendError"]
+
+#: GM maximum payload per packet (GM-1.x used 4 KB pages).
+GM_MTU = 4096
+
+
+class GmSendError(RuntimeError):
+    """Raised when a message exhausts its retransmission budget."""
+
+
+@dataclass
+class GmMessage:
+    """One application-level message as seen by ``receive()``."""
+
+    src: int
+    dst: int
+    length: int
+    tag: int = 0
+    t_send_api: float = 0.0
+    t_recv_api: float = 0.0
+    n_packets: int = 1
+
+    @property
+    def latency_ns(self) -> float:
+        return self.t_recv_api - self.t_send_api
+
+
+@dataclass
+class _Connection:
+    """Per-(local, remote) reliability state."""
+
+    next_seq: int = 0          # next sequence number to assign
+    expected_seq: int = 0      # next in-order sequence expected (recv side)
+    unacked: dict = field(default_factory=dict)  # seq -> _SendState
+
+
+@dataclass
+class _SendState:
+    seq: int
+    length: int
+    tag: int
+    route: Optional[ItbRoute]
+    t_first_send: float
+    retries: int = 0
+    acked: bool = False
+    msg_id: int = 0
+    last_packet: bool = False
+
+
+@dataclass
+class _InFlightMessage:
+    msg_id: int
+    dst: int
+    length: int
+    tag: int
+    n_packets: int
+    packets_acked: int = 0
+    done: Optional[Event] = None
+
+
+class GmHost:
+    """Host-side GM endpoint bound to one NIC.
+
+    Parameters
+    ----------
+    sim, nic:
+        Simulation context; ``nic.deliver_up`` is claimed by this host.
+    seed:
+        Seeds the host-noise RNG (deterministic per host).
+    reliable:
+        Enable acks + retransmission.  Latency tests may disable it to
+        match ``gm_allsize``'s measurement of the data path only; it
+        must be on for buffer-pool flush experiments.
+    ack_payload:
+        Wire payload bytes of an ack packet (control packets are tiny).
+    resend_timeout_ns / max_retries:
+        Go-back-N parameters.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nic: Nic,
+        seed: int = 0,
+        reliable: bool = True,
+        ack_payload: int = 8,
+        resend_timeout_ns: float = 1_000_000.0,
+        max_retries: int = 64,
+    ) -> None:
+        self.sim = sim
+        self.nic = nic
+        self.host = nic.host
+        self.name = nic.name
+        self.timings = nic.timings
+        self.reliable = reliable
+        self.ack_payload = ack_payload
+        self.resend_timeout_ns = resend_timeout_ns
+        self.max_retries = max_retries
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=seed, spawn_key=(nic.host,))
+        )
+        self._recv_queue: Store = Store(sim, name=f"gmrecv[{self.name}]")
+        self._connections: dict[int, _Connection] = {}
+        self._in_flight: dict[int, _InFlightMessage] = {}
+        self._msg_counter = 0
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.retransmissions = 0
+        nic.deliver_up = self._on_nic_deliver
+        # Back-reference for the port layer (repro.gm.ports).
+        nic._gm_host = self  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+
+    def send(
+        self,
+        dst: int,
+        length: int,
+        tag: int = 0,
+        route: Optional[ItbRoute] = None,
+    ) -> Event:
+        """gm_send(): returns an event that fires at *send completion*.
+
+        With reliability on, completion means every packet of the
+        message has been acked; with it off, completion fires when the
+        last packet has been handed to the NIC.
+        """
+        if length < 0:
+            raise ValueError("negative message length")
+        self._msg_counter += 1
+        msg_id = (self.host << 24) | self._msg_counter
+        n_packets = max(1, -(-length // GM_MTU))
+        done = Event(self.sim, name=f"senddone[{self.name}]")
+        self._in_flight[msg_id] = _InFlightMessage(
+            msg_id=msg_id, dst=dst, length=length, tag=tag,
+            n_packets=n_packets, done=done,
+        )
+        self.sim.process(
+            self._send_proc(msg_id, dst, length, tag, route, done),
+            name=f"gmsend[{self.name}]",
+        )
+        return done
+
+    def _host_noise(self) -> float:
+        sigma = self.timings.host_jitter_sigma_ns
+        if sigma <= 0:
+            return 0.0
+        return float(abs(self._rng.normal(0.0, sigma)))
+
+    def _send_proc(self, msg_id, dst, length, tag, route, done: Event):
+        t = self.timings
+        conn = self._connections.setdefault(dst, _Connection())
+        remaining = length
+        n_packets = max(1, -(-length // GM_MTU))
+        for i in range(n_packets):
+            chunk = min(GM_MTU, remaining) if length > 0 else 0
+            remaining -= chunk
+            # Host-side gm_send work per packet (descriptor, pinning).
+            yield Timeout(t.host_send_sw_ns + self._host_noise())
+            seq = conn.next_seq
+            conn.next_seq += 1
+            state = _SendState(
+                seq=seq, length=chunk, tag=tag, route=route,
+                t_first_send=self.sim.now, msg_id=msg_id,
+                last_packet=(i == n_packets - 1),
+            )
+            if self.reliable:
+                conn.unacked[seq] = state
+                self._arm_resend_timer(dst, state)
+            self._push_packet(dst, state)
+        self.messages_sent += 1
+        if not self.reliable and not done.triggered:
+            done.succeed()
+
+    def _push_packet(self, dst: int, state: _SendState) -> None:
+        gm = {
+            "kind": "data",
+            "seq": state.seq,
+            "tag": state.tag,
+            "msg_id": state.msg_id,
+            "msg_len": self._in_flight[state.msg_id].length
+            if state.msg_id in self._in_flight else state.length,
+            "last": state.last_packet,
+            "reliable": self.reliable,
+        }
+        self.nic.firmware.host_send(
+            dst=dst,
+            payload_len=state.length,
+            ptype=TYPE_GM,
+            gm=gm,
+            route=state.route,
+        )
+
+    def _arm_resend_timer(self, dst: int, state: _SendState) -> None:
+        def check() -> None:
+            conn = self._connections[dst]
+            if state.acked or state.seq not in conn.unacked:
+                return
+            if state.retries >= self.max_retries:
+                raise GmSendError(
+                    f"{self.name}: seq {state.seq} to {dst} exceeded"
+                    f" {self.max_retries} retries"
+                )
+            state.retries += 1
+            self.retransmissions += 1
+            self._push_packet(dst, state)
+            self.sim.schedule(self.resend_timeout_ns, check)
+
+        self.sim.schedule(self.resend_timeout_ns, check)
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+
+    def receive(self) -> Event:
+        """gm_receive(): event yielding the next :class:`GmMessage`."""
+        return self._recv_queue.get()
+
+    def _on_nic_deliver(self, tp: TransitPacket) -> None:
+        """Called by the NIC firmware after RDMA completes."""
+        kind = tp.gm.get("kind", "data")
+        if kind == "ack":
+            self._handle_ack(tp)
+            return
+        self.sim.process(self._recv_proc(tp), name=f"gmrecv[{self.name}]")
+
+    def _recv_proc(self, tp: TransitPacket):
+        t = self.timings
+        # Host-side receive work (event queue poll, token return).
+        yield Timeout(t.host_recv_sw_ns + self._host_noise())
+        if tp.gm.get("kind", "data") != "data":
+            # Control traffic (mapper scouts, diagnostics) is consumed
+            # by the GM layer, never surfaced to the application.
+            return
+        conn = self._connections.setdefault(tp.src, _Connection())
+        seq = tp.gm.get("seq", conn.expected_seq)
+        reliable = tp.gm.get("reliable", False)
+        if reliable:
+            if seq != conn.expected_seq:
+                # Out-of-order (a retransmit follow-on or duplicate):
+                # go-back-N receivers drop and re-ack the last good one.
+                self._send_ack(tp.src, conn.expected_seq - 1)
+                return
+            conn.expected_seq += 1
+            self._send_ack(tp.src, seq)
+        if tp.gm.get("last", True):
+            msg = GmMessage(
+                src=tp.src,
+                dst=self.host,
+                length=tp.gm.get("msg_len", tp.payload_len),
+                tag=tp.gm.get("tag", 0),
+                t_send_api=tp.t_api_send or 0.0,
+                t_recv_api=self.sim.now,
+                n_packets=1,
+            )
+            self.messages_received += 1
+            self._recv_queue.put(msg)
+
+    def _send_ack(self, dst: int, seq: int) -> None:
+        gm = {"kind": "ack", "ack_seq": seq}
+        self.nic.firmware.host_send(
+            dst=dst, payload_len=self.ack_payload, ptype=TYPE_GM, gm=gm,
+        )
+
+    def _handle_ack(self, tp: TransitPacket) -> None:
+        conn = self._connections.setdefault(tp.src, _Connection())
+        ack_seq = tp.gm.get("ack_seq", -1)
+        # Cumulative ack: everything <= ack_seq is confirmed.
+        for seq in sorted(conn.unacked):
+            if seq > ack_seq:
+                break
+            state = conn.unacked.pop(seq)
+            state.acked = True
+            flight = self._in_flight.get(state.msg_id)
+            if flight is not None:
+                flight.packets_acked += 1
+                if (flight.packets_acked >= flight.n_packets
+                        and flight.done is not None
+                        and not flight.done.triggered):
+                    flight.done.succeed()
+                    del self._in_flight[state.msg_id]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<GmHost {self.name} sent={self.messages_sent}>"

@@ -1,0 +1,214 @@
+"""IP encapsulation over GM.
+
+The paper's Section 3: "Other software interfaces such as MPI, VIA,
+and TCP/IP are layered efficiently over GM", and the NIC's type
+decode recognizes "a packet with an IP packet in its payload"
+(``TYPE_IP`` in :mod:`repro.mcp.packet_format`).  This module
+implements that layering's datagram half:
+
+* IP datagrams larger than the GM MTU are **fragmented** (ident +
+  fragment offset + more-fragments flag, IPv4-style, 8-byte aligned
+  offsets),
+* fragments travel as unreliable ``TYPE_IP`` GM packets,
+* the receiver **reassembles** per (src, ident), delivering complete
+  datagrams upward and expiring partial ones on a timeout — losing
+  any fragment loses the datagram, exactly IP's best-effort contract
+  (the contrast with GM's own go-back-N reliability is the point, and
+  a test pins it).
+
+The "header" is carried in the GM metadata side-channel rather than
+serialized bytes: the simulation's packet images already model wire
+length exactly, and what matters behaviorally is the
+fragmentation/reassembly logic, not byte layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.gm.host import GmHost
+from repro.mcp.firmware import TransitPacket
+from repro.mcp.packet_format import TYPE_IP
+
+__all__ = ["IpDatagram", "IpEndpoint", "IpStats"]
+
+#: Fragment payload per GM packet: the GM MTU minus the 20-byte IP
+#: header each fragment carries on the wire.
+FRAGMENT_PAYLOAD = 4096 - 20
+#: IPv4 fragment offsets count 8-byte units.
+FRAG_UNIT = 8
+
+
+@dataclass(frozen=True)
+class IpDatagram:
+    """A delivered IP datagram."""
+
+    src: int
+    dst: int
+    length: int
+    ident: int
+    ttl: int
+    t_delivered: float
+
+
+@dataclass
+class IpStats:
+    """Per-endpoint counters."""
+
+    datagrams_sent: int = 0
+    fragments_sent: int = 0
+    datagrams_delivered: int = 0
+    fragments_received: int = 0
+    reassembly_timeouts: int = 0
+    ttl_drops: int = 0
+
+
+@dataclass
+class _Reassembly:
+    total_len: Optional[int] = None  # known once the last fragment lands
+    received: dict = field(default_factory=dict)  # offset -> length
+    first_at: float = 0.0
+
+
+class IpEndpoint:
+    """Best-effort IP datagram service on one host.
+
+    Parameters
+    ----------
+    gm_host:
+        The GM endpoint to layer over.  IP traffic bypasses GM's
+        reliability (datagrams are best-effort by contract), so the
+        endpoint works with ``reliable`` either on or off — IP packets
+        are always sent unacked.
+    reassembly_timeout_ns:
+        Partial datagrams older than this are discarded.
+    default_ttl:
+        Hop-limit stamped on originated datagrams.  Each traversal of
+        an in-transit host decrements it (an ITB hop is an IP-visible
+        store-and-forward); 0 on arrival drops the datagram.
+    """
+
+    def __init__(
+        self,
+        gm_host: GmHost,
+        reassembly_timeout_ns: float = 5_000_000.0,
+        default_ttl: int = 16,
+    ) -> None:
+        self.gm_host = gm_host
+        self.sim = gm_host.sim
+        self.host = gm_host.host
+        self.reassembly_timeout_ns = reassembly_timeout_ns
+        self.default_ttl = default_ttl
+        self.stats = IpStats()
+        self._ident = 0
+        self._partials: dict[tuple[int, int], _Reassembly] = {}
+        self._sinks: list[Callable[[IpDatagram], None]] = []
+        # Claim the IP type's delivery path on this host's firmware.
+        fw = gm_host.nic.firmware
+        previous = gm_host.nic.deliver_up
+
+        def deliver_up(tp: TransitPacket) -> None:
+            if tp.ptype == TYPE_IP:
+                self._on_fragment(tp)
+            elif previous is not None:
+                previous(tp)
+
+        gm_host.nic.deliver_up = deliver_up
+
+    # ------------------------------------------------------------------
+
+    def on_datagram(self, sink: Callable[[IpDatagram], None]) -> None:
+        """Register a delivery callback for reassembled datagrams."""
+        self._sinks.append(sink)
+
+    def send(self, dst: int, length: int,
+             ttl: Optional[int] = None) -> int:
+        """Send a datagram of ``length`` bytes; returns its ident.
+
+        Fragments at the GM MTU; every fragment carries the 20-byte IP
+        header on the wire.
+        """
+        if length < 0:
+            raise ValueError("negative datagram length")
+        self._ident += 1
+        ident = (self.host << 16) | (self._ident & 0xFFFF)
+        ttl = self.default_ttl if ttl is None else ttl
+        offset = 0
+        remaining = max(length, 1)  # zero-length datagram = 1 fragment
+        self.stats.datagrams_sent += 1
+        while remaining > 0:
+            chunk = min(FRAGMENT_PAYLOAD, remaining)
+            # Align non-final fragments down to the 8-byte unit.
+            more = remaining - chunk > 0
+            if more:
+                chunk -= chunk % FRAG_UNIT
+            self.stats.fragments_sent += 1
+            self.gm_host.nic.firmware.host_send(
+                dst=dst,
+                payload_len=chunk + 20,  # fragment + IP header bytes
+                ptype=TYPE_IP,
+                gm={
+                    "kind": "ip",
+                    "ident": ident,
+                    "frag_offset": offset,
+                    "more": more,
+                    "dgram_len": length,
+                    "ttl": ttl,
+                    "last": True,
+                },
+            )
+            offset += chunk
+            remaining -= chunk
+        return ident
+
+    # ------------------------------------------------------------------
+
+    def _on_fragment(self, tp: TransitPacket) -> None:
+        self.stats.fragments_received += 1
+        ttl = tp.gm.get("ttl", self.default_ttl) - len(tp.itb_times)
+        if ttl <= 0:
+            self.stats.ttl_drops += 1
+            return
+        ident = tp.gm["ident"]
+        key = (tp.src, ident)
+        part = self._partials.get(key)
+        if part is None:
+            part = _Reassembly(first_at=self.sim.now)
+            self._partials[key] = part
+            self.sim.schedule(self.reassembly_timeout_ns,
+                              lambda key=key: self._expire(key))
+        offset = tp.gm["frag_offset"]
+        chunk = tp.payload_len - 20
+        part.received[offset] = chunk
+        if not tp.gm.get("more", False):
+            part.total_len = tp.gm["dgram_len"]
+        self._try_complete(key, tp, ttl)
+
+    def _try_complete(self, key: tuple[int, int],
+                      tp: TransitPacket, ttl: int) -> None:
+        part = self._partials.get(key)
+        if part is None or part.total_len is None:
+            return
+        covered = sum(part.received.values())
+        needed = max(part.total_len, 1)
+        if covered < needed:
+            return
+        del self._partials[key]
+        self.stats.datagrams_delivered += 1
+        dgram = IpDatagram(
+            src=tp.src, dst=self.host, length=part.total_len,
+            ident=key[1], ttl=ttl, t_delivered=self.sim.now,
+        )
+        for sink in self._sinks:
+            sink(dgram)
+
+    def _expire(self, key: tuple[int, int]) -> None:
+        if key in self._partials:
+            del self._partials[key]
+            self.stats.reassembly_timeouts += 1
+
+    @property
+    def partial_reassemblies(self) -> int:
+        """Datagrams currently awaiting fragments."""
+        return len(self._partials)

@@ -1,0 +1,71 @@
+"""The network mapper.
+
+The Myrinet mapper explores the fabric, computes routes among all
+hosts, and stores them in each NIC's SRAM.  The paper modifies it to
+"calculate paths with the proposed mechanism" — i.e. to emit ITB
+routes.  The exploration phase is not timing-relevant to any
+experiment, so it runs at construction time; what matters (and what
+this module provides) is the *routing policy* and the stamped tables.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Union
+
+from repro.nic.lanai import Nic
+from repro.routing.itb import ItbRouter
+from repro.routing.routes import ItbRoute, RouteError, SourceRoute
+from repro.routing.spanning_tree import UpDownOrientation, build_orientation
+from repro.routing.tables import build_route_tables
+from repro.routing.updown import UpDownRouter
+from repro.topology.graph import Topology
+
+__all__ = ["run_mapper"]
+
+
+def run_mapper(
+    topo: Topology,
+    nics: Mapping[int, Nic],
+    routing: str = "updown",
+    orientation: Optional[UpDownOrientation] = None,
+    overrides: Optional[Mapping[tuple[int, int],
+                                Union[SourceRoute, ItbRoute]]] = None,
+    root: Optional[int] = None,
+) -> UpDownOrientation:
+    """Compute and stamp route tables into every NIC.
+
+    Parameters
+    ----------
+    routing:
+        ``"updown"`` (stock mapper) or ``"itb"`` (modified mapper).
+    overrides:
+        Hand-built routes for specific (src, dst) pairs — the paper's
+        evaluation uses carefully constructed paths rather than mapper
+        output, so the harness overrides exactly those pairs.
+    root:
+        Optional spanning-tree root (defaults to min-eccentricity).
+
+    Returns the orientation used (shared by both routings so they agree
+    on link directions).
+    """
+    if orientation is None:
+        orientation = build_orientation(topo, root=root)
+    if routing == "updown":
+        router = UpDownRouter(topo, orientation)
+    elif routing == "itb":
+        router = ItbRouter(topo, orientation)
+    else:
+        raise RouteError(f"unknown routing policy {routing!r}")
+
+    pairs: dict[tuple[int, int], ItbRoute] = {}
+    if overrides:
+        for (s, d), route in overrides.items():
+            if isinstance(route, SourceRoute):
+                route = ItbRoute((route,))
+            pairs[(s, d)] = route
+
+    hosts = sorted(nics)
+    tables = build_route_tables(hosts, router, pairs=pairs)
+    for host, table in tables.items():
+        nics[host].route_table = table
+    return orientation

@@ -1,0 +1,279 @@
+"""GM ports and token flow control.
+
+The real GM API is port-based: an application opens a numbered *port*
+on its NIC and addresses sends to ``(host, port)``.  Flow control is
+by **tokens**: a process owns a fixed number of send tokens and
+receive tokens; ``gm_send_with_callback`` consumes a send token
+(returned by the completion callback) and every reception consumes a
+receive token that the application must explicitly *provide* — with
+no token posted, arriving data waits in GM's buffers.
+
+This module layers those semantics over :class:`~repro.gm.host.GmHost`:
+
+* :class:`GmPort` — open/close, tagged sends with token accounting,
+  token-gated receive queues,
+* sends to a port whose peer never posted tokens still complete at
+  the GM level (GM owns the buffering), but the *application* only
+  sees the message once a token is provided — exactly the backpressure
+  shape real GM applications program against.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+from repro.gm.host import GmHost, GmMessage
+from repro.routing.routes import ItbRoute
+from repro.sim.engine import Event, SimulationError
+
+__all__ = ["GmPort", "GmPortError", "PortMessage"]
+
+#: GM-1.x default token budgets per port.
+DEFAULT_SEND_TOKENS = 16
+DEFAULT_RECV_TOKENS = 16
+
+
+class GmPortError(RuntimeError):
+    """Port misuse: double open, send without tokens, closed port."""
+
+
+@dataclass(frozen=True)
+class PortMessage:
+    """A message as seen by a port: GM message + target port number."""
+
+    message: GmMessage
+    port: int
+
+    @property
+    def src(self) -> int:
+        return self.message.src
+
+    @property
+    def length(self) -> int:
+        return self.message.length
+
+    @property
+    def tag(self) -> int:
+        return self.message.tag
+
+
+class GmPort:
+    """One open GM port on a host.
+
+    Parameters
+    ----------
+    gm_host:
+        The host endpoint to bind to.
+    port_number:
+        GM port id (0 is reserved for the mapper on real GM; any
+        non-negative id is accepted here, uniqueness enforced per host).
+    send_tokens / recv_tokens:
+        Token budgets.
+    """
+
+    def __init__(
+        self,
+        gm_host: GmHost,
+        port_number: int,
+        send_tokens: int = DEFAULT_SEND_TOKENS,
+        recv_tokens: int = DEFAULT_RECV_TOKENS,
+    ) -> None:
+        if port_number < 0:
+            raise GmPortError("port numbers are non-negative")
+        if send_tokens < 1 or recv_tokens < 1:
+            raise GmPortError("token budgets must be positive")
+        self.gm_host = gm_host
+        self.sim = gm_host.sim
+        self.port_number = port_number
+        self.send_tokens_total = send_tokens
+        self._send_tokens = send_tokens
+        self._recv_tokens = recv_tokens
+        self._pending: Deque[PortMessage] = deque()   # arrived, no token
+        self._ready: Deque[PortMessage] = deque()     # token matched
+        self._recv_waiters: Deque[Event] = deque()
+        self._send_token_waiters: Deque[Event] = deque()
+        self.closed = False
+        registry = _registry_of(gm_host)
+        if port_number in registry:
+            raise GmPortError(
+                f"port {port_number} already open on {gm_host.name}")
+        registry[port_number] = self
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+
+    @property
+    def send_tokens(self) -> int:
+        return self._send_tokens
+
+    @property
+    def recv_tokens(self) -> int:
+        return self._recv_tokens
+
+    def send(
+        self,
+        dst_host: int,
+        dst_port: int,
+        length: int,
+        tag: int = 0,
+        route: Optional[ItbRoute] = None,
+    ) -> Event:
+        """gm_send_with_callback: consumes a send token.
+
+        The returned event fires at send completion (ack with
+        reliability on), at which point the token is back.  Raises
+        :class:`GmPortError` when no token is available — real GM
+        returns an error too; callers wanting to block should
+        ``yield port.wait_send_token()`` first.
+        """
+        self._check_open()
+        if self._send_tokens <= 0:
+            raise GmPortError(
+                f"{self.gm_host.name}:{self.port_number} out of send tokens")
+        self._send_tokens -= 1
+        done = self.gm_host.send(dst_host, length, tag=tag, route=route)
+        done.add_callback(lambda _ev: self._return_send_token())
+        # Target port travels with the message (GM stamps it in the
+        # packet header; we piggyback on the message tag channel).
+        done_port = _port_stamp(self.gm_host, dst_host, dst_port)
+        done_port.append(dst_port)
+        return done
+
+    def wait_send_token(self) -> Event:
+        """Event that fires as soon as a send token is available."""
+        ev = Event(self.sim, name=f"sendtok[{self.gm_host.name}]")
+        if self._send_tokens > 0:
+            ev.succeed()
+        else:
+            self._send_token_waiters.append(ev)
+        return ev
+
+    def _return_send_token(self) -> None:
+        self._send_tokens += 1
+        while self._send_token_waiters and self._send_tokens > 0:
+            self._send_token_waiters.popleft().succeed()
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+
+    def provide_receive_token(self, n: int = 1) -> None:
+        """gm_provide_receive_buffer: add receive tokens.
+
+        Matches waiting (buffered) messages immediately.
+        """
+        self._check_open()
+        if n < 1:
+            raise GmPortError("must provide at least one token")
+        self._recv_tokens += n
+        self._match()
+
+    def receive(self) -> Event:
+        """Event yielding the next token-matched :class:`PortMessage`."""
+        self._check_open()
+        ev = Event(self.sim, name=f"portrecv[{self.gm_host.name}]")
+        if self._ready:
+            ev.succeed(self._ready.popleft())
+        else:
+            self._recv_waiters.append(ev)
+        return ev
+
+    @property
+    def buffered(self) -> int:
+        """Messages arrived but not yet matched to a token."""
+        return len(self._pending)
+
+    def _deliver(self, pm: PortMessage) -> None:
+        self._pending.append(pm)
+        self._match()
+
+    def _match(self) -> None:
+        while self._pending and self._recv_tokens > 0:
+            self._recv_tokens -= 1
+            pm = self._pending.popleft()
+            if self._recv_waiters:
+                self._recv_waiters.popleft().succeed(pm)
+            else:
+                self._ready.append(pm)
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """gm_close(): release the port number; fail pending receives."""
+        self._check_open()
+        self.closed = True
+        del _registry_of(self.gm_host)[self.port_number]
+        while self._recv_waiters:
+            self._recv_waiters.popleft().fail(GmPortError("port closed"))
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise GmPortError(
+                f"port {self.port_number} on {self.gm_host.name} is closed")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<GmPort {self.gm_host.name}:{self.port_number}"
+                f" stok={self._send_tokens} rtok={self._recv_tokens}>")
+
+
+# ---------------------------------------------------------------------------
+# host-level port plumbing
+# ---------------------------------------------------------------------------
+
+
+def _registry_of(gm_host: GmHost) -> dict[int, GmPort]:
+    """Per-host port registry, installed lazily.
+
+    Installation hooks the host's receive queue: a dispatcher process
+    drains :class:`GmMessage` objects and routes each to its target
+    port (the stamp queue carries the port numbers in arrival order,
+    which is exact because GM delivery is ordered per connection).
+    """
+    registry = getattr(gm_host, "_ports", None)
+    if registry is None:
+        registry = {}
+        gm_host._ports = registry  # type: ignore[attr-defined]
+        gm_host._port_stamps = {}  # type: ignore[attr-defined]
+        gm_host.sim.process(_dispatcher(gm_host),
+                            name=f"portdisp[{gm_host.name}]")
+    return registry
+
+
+def _port_stamp(src_gm: GmHost, dst_host: int, _dst_port: int) -> list:
+    """The per-(src,dst) FIFO of target-port stamps.
+
+    Lives on the *destination* host keyed by source, because delivery
+    order is per-connection.
+    """
+    # Find the destination GmHost through the NIC registry.
+    fw_by_host = src_gm.nic.fabric.meta["firmware_by_host"]
+    dst_nic = fw_by_host[dst_host].nic
+    dst_gm = _gm_of(dst_nic)
+    stamps = dst_gm._port_stamps  # type: ignore[attr-defined]
+    return stamps.setdefault(src_gm.host, [])
+
+
+def _gm_of(nic) -> GmHost:
+    gm = getattr(nic, "_gm_host", None)
+    if gm is None:
+        raise SimulationError(f"no GmHost bound to NIC {nic.name}")
+    return gm
+
+
+def _dispatcher(gm_host: GmHost):
+    """Route incoming GmMessages to their target ports."""
+    while True:
+        msg: GmMessage = yield gm_host.receive()
+        stamps = getattr(gm_host, "_port_stamps", {})
+        queue = stamps.get(msg.src, [])
+        port_number = queue.pop(0) if queue else 0
+        registry = gm_host._ports  # type: ignore[attr-defined]
+        port = registry.get(port_number)
+        if port is None or port.closed:
+            # No such port: GM drops to the floor (counted nowhere on
+            # real GM either beyond a NACK; keep it simple).
+            continue
+        port._deliver(PortMessage(message=msg, port=port_number))

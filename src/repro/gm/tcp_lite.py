@@ -1,0 +1,240 @@
+"""TCP-lite: a reliable byte stream over IP-over-GM.
+
+Completes the paper's Section 3 stack ("MPI, VIA, and TCP/IP are
+layered efficiently over GM"): a deliberately small TCP-shaped
+transport over the best-effort :class:`~repro.gm.ip.IpEndpoint` —
+enough protocol to make the layering costs measurable against GM's
+native reliability:
+
+* three-way handshake (SYN / SYN-ACK / ACK) before data,
+* byte-sequence numbers, cumulative ACKs, a fixed congestion-free
+  send window, retransmission on timeout,
+* FIN teardown.
+
+Segments are IP datagrams whose TCP header rides in the GM metadata
+side-channel (consistent with :mod:`repro.gm.ip`'s modeling choice:
+wire *lengths* are exact — every segment pays 20 IP + 20 TCP header
+bytes — while field layout stays unserialized).
+
+This is a modeling transport, not a TCP implementation: no congestion
+control, no SACK, single connection per (endpoint pair, port).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.gm.host import GmHost
+from repro.mcp.firmware import TransitPacket
+from repro.mcp.packet_format import TYPE_IP
+from repro.sim.engine import Event, Timeout
+
+__all__ = ["TcpLiteEndpoint", "TcpStats"]
+
+#: Max payload per segment: GM MTU minus IP (20) and TCP (20) headers.
+MSS = 4096 - 40
+_HEADERS = 40
+
+
+@dataclass
+class TcpStats:
+    """Per-endpoint protocol counters."""
+
+    segments_sent: int = 0
+    segments_received: int = 0
+    retransmissions: int = 0
+    bytes_delivered: int = 0
+    handshakes: int = 0
+
+
+@dataclass
+class _Connection:
+    peer: int
+    established: bool = False
+    # send side
+    snd_next: int = 0          # next byte sequence to send
+    snd_una: int = 0           # oldest unacknowledged byte
+    inflight: dict = field(default_factory=dict)  # seq -> length
+    established_ev: Optional[Event] = None
+    # receive side
+    rcv_next: int = 0
+    out_of_order: dict = field(default_factory=dict)  # seq -> length
+
+
+class TcpLiteEndpoint:
+    """One host's TCP-lite stack.
+
+    Parameters
+    ----------
+    gm_host:
+        The GM endpoint; TCP segments travel as ``TYPE_IP`` packets.
+    window_bytes:
+        Fixed send window (flow control stand-in).
+    rto_ns:
+        Retransmission timeout.
+    """
+
+    def __init__(
+        self,
+        gm_host: GmHost,
+        window_bytes: int = 4 * MSS,
+        rto_ns: float = 2_000_000.0,
+        max_retries: int = 32,
+    ) -> None:
+        self.gm_host = gm_host
+        self.sim = gm_host.sim
+        self.host = gm_host.host
+        self.window_bytes = window_bytes
+        self.rto_ns = rto_ns
+        self.max_retries = max_retries
+        self.stats = TcpStats()
+        self._connections: dict[int, _Connection] = {}
+        self._stream_sinks: list[Callable[[int, int], None]] = []
+        fw = gm_host.nic.firmware
+        previous = gm_host.nic.deliver_up
+
+        def deliver_up(tp: TransitPacket) -> None:
+            if tp.ptype == TYPE_IP and tp.gm.get("kind") == "tcp":
+                self._on_segment(tp)
+            elif previous is not None:
+                previous(tp)
+
+        gm_host.nic.deliver_up = deliver_up
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+
+    def on_stream_data(self, sink: Callable[[int, int], None]) -> None:
+        """Register ``sink(peer_host, n_bytes)`` for in-order data."""
+        self._stream_sinks.append(sink)
+
+    def connect(self, peer: int) -> Event:
+        """Open a connection; event fires when established."""
+        conn = self._conn(peer)
+        if conn.established:
+            ev = Event(self.sim, name="tcp-established")
+            ev.succeed()
+            return ev
+        conn.established_ev = Event(self.sim, name="tcp-established")
+        self._send_ctrl(peer, "syn")
+        return conn.established_ev
+
+    def send_stream(self, peer: int, n_bytes: int) -> Event:
+        """Stream ``n_bytes`` to an established peer.
+
+        Returns an event firing once every byte is acknowledged.
+        Respects the fixed window: at most ``window_bytes`` unacked.
+        """
+        conn = self._conn(peer)
+        if not conn.established:
+            raise RuntimeError(f"no established connection to {peer}")
+        done = Event(self.sim, name="tcp-stream-done")
+        self.sim.process(self._stream_proc(conn, n_bytes, done),
+                         name=f"tcp-tx[{self.host}]")
+        return done
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _conn(self, peer: int) -> _Connection:
+        return self._connections.setdefault(peer, _Connection(peer=peer))
+
+    def _send_ctrl(self, peer: int, flag: str, ack: int = 0) -> None:
+        self.stats.segments_sent += 1
+        self.gm_host.nic.firmware.host_send(
+            dst=peer, payload_len=_HEADERS, ptype=TYPE_IP,
+            gm={"kind": "tcp", "flag": flag, "ack": ack, "last": True},
+        )
+
+    def _send_data(self, conn: _Connection, seq: int, length: int,
+                   retries: int = 0) -> None:
+        self.stats.segments_sent += 1
+        self.gm_host.nic.firmware.host_send(
+            dst=conn.peer, payload_len=length + _HEADERS, ptype=TYPE_IP,
+            gm={"kind": "tcp", "flag": "data", "seq": seq,
+                "len": length, "last": True},
+        )
+        conn.inflight[seq] = length
+
+        def maybe_retransmit() -> None:
+            if seq not in conn.inflight or seq < conn.snd_una:
+                return
+            if retries >= self.max_retries:
+                raise RuntimeError(
+                    f"tcp-lite: seq {seq} to {conn.peer} exceeded retries")
+            self.stats.retransmissions += 1
+            self._send_data(conn, seq, length, retries + 1)
+
+        self.sim.schedule(self.rto_ns, maybe_retransmit)
+
+    def _stream_proc(self, conn: _Connection, n_bytes: int, done: Event):
+        end_seq = conn.snd_next + n_bytes
+        while conn.snd_next < end_seq or conn.snd_una < end_seq:
+            window_free = self.window_bytes - (conn.snd_next - conn.snd_una)
+            if conn.snd_next < end_seq and window_free >= MSS:
+                chunk = min(MSS, end_seq - conn.snd_next)
+                self._send_data(conn, conn.snd_next, chunk)
+                conn.snd_next += chunk
+            else:
+                yield Timeout(10_000.0)  # wait for acks to open window
+        done.succeed()
+
+    def _on_segment(self, tp: TransitPacket) -> None:
+        self.stats.segments_received += 1
+        flag = tp.gm.get("flag")
+        peer = tp.src
+        conn = self._conn(peer)
+        if flag == "syn":
+            self._send_ctrl(peer, "syn-ack")
+        elif flag == "syn-ack":
+            conn.established = True
+            self.stats.handshakes += 1
+            self._send_ctrl(peer, "ack-of-syn")
+            if conn.established_ev and not conn.established_ev.triggered:
+                conn.established_ev.succeed()
+        elif flag == "ack-of-syn":
+            conn.established = True
+            self.stats.handshakes += 1
+        elif flag == "data":
+            self._on_data(conn, tp)
+        elif flag == "ack":
+            self._on_ack(conn, tp.gm.get("ack", 0))
+        elif flag == "fin":
+            conn.established = False
+            self._send_ctrl(peer, "ack", ack=conn.rcv_next)
+
+    def _on_data(self, conn: _Connection, tp: TransitPacket) -> None:
+        seq = tp.gm["seq"]
+        length = tp.gm["len"]
+        if seq == conn.rcv_next:
+            conn.rcv_next += length
+            self.stats.bytes_delivered += length
+            delivered = length
+            # Drain any buffered out-of-order successors.
+            while conn.rcv_next in conn.out_of_order:
+                step = conn.out_of_order.pop(conn.rcv_next)
+                conn.rcv_next += step
+                self.stats.bytes_delivered += step
+                delivered += step
+            for sink in self._stream_sinks:
+                sink(conn.peer, delivered)
+        elif seq > conn.rcv_next:
+            conn.out_of_order[seq] = length
+        # else: duplicate of already-delivered data — just re-ack.
+        self._send_ctrl(conn.peer, "ack", ack=conn.rcv_next)
+
+    def _on_ack(self, conn: _Connection, ack: int) -> None:
+        if ack > conn.snd_una:
+            conn.snd_una = ack
+        for seq in [s for s in conn.inflight if s + conn.inflight[s] <= ack]:
+            del conn.inflight[seq]
+
+    def close(self, peer: int) -> None:
+        """Send FIN and mark the connection closed locally."""
+        conn = self._conn(peer)
+        if conn.established:
+            self._send_ctrl(peer, "fin")
+            conn.established = False

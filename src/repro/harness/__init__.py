@@ -1,0 +1,89 @@
+"""Experiment harness: regenerates every figure of the paper.
+
+One module per experiment (see DESIGN.md's experiment index):
+
+* :mod:`repro.harness.fig7` — EXP-F7: per-packet overhead of the
+  ITB-support code (paper Figure 7),
+* :mod:`repro.harness.fig8` — EXP-F8: per-ITB ejection/re-injection
+  overhead (paper Figure 8),
+* :mod:`repro.harness.fig1` — EXP-F1: minimal routes enabled by ITBs
+  (paper Figure 1),
+* :mod:`repro.harness.throughput` — EXP-M1: network-level up*/down*
+  vs ITB comparison (the paper's Section 2 motivation, from [2,3]),
+* :mod:`repro.harness.ablations` — EXP-A1/A2/A3: design-choice
+  ablations called out in DESIGN.md.
+
+All runners return plain dataclasses; :mod:`repro.harness.report`
+renders them as ASCII tables with paper-vs-measured columns.
+"""
+
+from repro.harness.paths import Fig6Paths, fig6_paths
+from repro.harness.fig7 import Fig7Result, run_fig7
+from repro.harness.fig8 import Fig8Result, run_fig8
+from repro.harness.fig1 import Fig1Result, run_fig1
+from repro.harness.throughput import ThroughputPoint, ThroughputResult, run_throughput
+from repro.harness.apps import AppResult, run_app_comparison, run_kernel
+from repro.harness.breakdown import LatencyBreakdown, measure_breakdown
+from repro.harness.workloads import (
+    TrafficStats,
+    drive_traffic,
+    hotspot_traffic,
+    permutation_traffic,
+    uniform_traffic,
+)
+from repro.harness.metrics import LatencySummary, saturation_point, summarize_latencies
+from repro.harness.paper_claims import CLAIMS, Claim, claim
+from repro.harness.ascii_plot import line_plot
+from repro.harness.report import format_table, paper_vs_measured
+from repro.harness.sweep import SweepPoint, SweepResult, sweep
+from repro.harness.persist import load_results, save_results
+from repro.harness.chrome_trace import to_chrome_trace, write_chrome_trace
+from repro.harness.root_study import RootStudyRow, run_root_study
+from repro.harness.timeline import PacketTimeline, packet_timeline
+from repro.harness.validation import ValidationReport, validate_claims
+
+__all__ = [
+    "AppResult",
+    "CLAIMS",
+    "Claim",
+    "Fig1Result",
+    "Fig6Paths",
+    "Fig7Result",
+    "Fig8Result",
+    "LatencyBreakdown",
+    "LatencySummary",
+    "PacketTimeline",
+    "RootStudyRow",
+    "SweepPoint",
+    "SweepResult",
+    "ThroughputPoint",
+    "ThroughputResult",
+    "TrafficStats",
+    "ValidationReport",
+    "claim",
+    "drive_traffic",
+    "fig6_paths",
+    "format_table",
+    "hotspot_traffic",
+    "line_plot",
+    "load_results",
+    "measure_breakdown",
+    "packet_timeline",
+    "paper_vs_measured",
+    "permutation_traffic",
+    "run_app_comparison",
+    "run_fig1",
+    "run_fig7",
+    "run_fig8",
+    "run_kernel",
+    "run_root_study",
+    "run_throughput",
+    "save_results",
+    "saturation_point",
+    "summarize_latencies",
+    "sweep",
+    "to_chrome_trace",
+    "uniform_traffic",
+    "validate_claims",
+    "write_chrome_trace",
+]

@@ -1,0 +1,296 @@
+"""EXP-A1/A2/A3: ablations of the design choices DESIGN.md calls out.
+
+* **A1 — load on the Figure 8 path**: the paper argues the 1.3 us
+  per-ITB delay "only will be important when, after detecting an
+  in-transit packet, the required output port is free" — under load,
+  the packet would have waited anyway.  We inject background traffic
+  that keeps the re-injection output channel busy and measure how the
+  *marginal* ITB overhead shrinks.
+
+* **A2 — two fixed buffers vs circular buffer pool** at the in-transit
+  host: burst arrival of in-transit packets; fixed buffers exert
+  wire backpressure (no loss, long stalls); the pool absorbs bursts
+  and flushes when full, with GM retransmission recovering losses.
+
+* **A3 — detection/programming cost sweep**: the earlier studies
+  [2,3] assumed 275 ns + 200 ns; the implementation measured ~1.3 us.
+  We sweep the firmware cycle counts between those regimes and report
+  the per-ITB overhead each yields, including the saved dispatch
+  cycle of the Recv-machine fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.builder import build_network
+from repro.core.config import NetworkConfig
+from repro.core.timings import Timings
+from repro.harness.fig8 import run_fig8
+from repro.harness.paths import fig6_paths
+from repro.harness.workloads import drive_traffic, uniform_traffic
+
+__all__ = [
+    "AblationLoadResult",
+    "BufferPoolResult",
+    "TimingSweepRow",
+    "run_ablation_buffer_pool",
+    "run_ablation_load",
+    "run_ablation_timing",
+]
+
+
+# ---------------------------------------------------------------------------
+# A1: marginal ITB overhead under background load
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AblationLoadResult:
+    """Per-ITB overhead with and without a busy output port."""
+
+    size: int
+    overhead_unloaded_ns: float
+    overhead_loaded_ns: float
+
+    @property
+    def marginal_fraction(self) -> float:
+        """Loaded overhead as a fraction of the unloaded overhead."""
+        if self.overhead_unloaded_ns == 0:
+            return 0.0
+        return self.overhead_loaded_ns / self.overhead_unloaded_ns
+
+
+def run_ablation_load(
+    size: int = 256,
+    iterations: int = 40,
+    background_gap_ns: float = 9_000.0,
+    seed: int = 2001,
+) -> AblationLoadResult:
+    """Measure the marginal per-ITB overhead when the re-injection
+    output port is kept busy by background traffic.
+
+    Background: the in-transit host itself streams packets to host2
+    over the same output channel the re-injection needs, so in-transit
+    packets frequently find the send engine busy (the ``ITB packet
+    pending`` path) — and, symmetrically, the reference up*/down* path
+    contends on the same inter-switch channel.  Under the paper's
+    argument the *difference* between the ITB and UD latencies shrinks
+    relative to the unloaded case.
+    """
+    from repro.sim.engine import Timeout
+
+    unloaded = run_fig8(sizes=(size,), iterations=iterations, seed=seed)
+    ovh_unloaded = unloaded.rows[0].overhead_ns
+
+    def measure(route_name: str) -> float:
+        t = Timings().with_overrides(host_jitter_sigma_ns=0.0)
+        config = NetworkConfig(firmware="itb", routing="updown",
+                               timings=t, seed=seed)
+        net = build_network("fig6", config=config)
+        paths = fig6_paths(net.topo, net.roles)
+        itb_host = net.roles["itb"]
+        h2 = net.roles["host2"]
+
+        def background():
+            nic = net.nics[itb_host]
+            while True:
+                nic.firmware.host_send(dst=h2, payload_len=512,
+                                       gm={"last": True})
+                yield Timeout(background_gap_ns)
+
+        net.sim.process(background(), name="background")
+        chosen = paths.ud5 if route_name == "ud5" else paths.itb5
+        res = net.ping_pong("host1", "host2", size=size,
+                            iterations=iterations,
+                            route_ab=chosen, route_ba=paths.rev2)
+        return res.mean_ns
+
+    ud = measure("ud5")
+    ud_itb = measure("itb5")
+    ovh_loaded = 2.0 * (ud_itb - ud)
+    return AblationLoadResult(
+        size=size,
+        overhead_unloaded_ns=ovh_unloaded,
+        overhead_loaded_ns=ovh_loaded,
+    )
+
+
+# ---------------------------------------------------------------------------
+# A2: fixed buffers vs buffer pool at the in-transit host
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BufferPoolResult:
+    """Burst behaviour of the two in-transit buffering schemes."""
+
+    kind: str
+    delivered: int
+    offered: int
+    flushed: int
+    recv_blocked_ns: float
+    mean_latency_ns: float
+
+    @property
+    def delivered_fraction(self) -> float:
+        return self.delivered / max(1, self.offered)
+
+
+def run_ablation_buffer_pool(
+    n_senders: int = 4,
+    packets_per_sender: int = 30,
+    packet_size: int = 1024,
+    pool_bytes: int = 8 * 1024,
+    seed: int = 2001,
+) -> dict[str, BufferPoolResult]:
+    """Blast in-transit traffic through one host under both schemes.
+
+    Topology: a star of ``n_senders`` hosts on switch A, all sending
+    through an in-transit host on switch B to targets on switch C —
+    every packet takes one ITB, so the in-transit buffers are the
+    bottleneck.  Fixed buffers stall the wire; a small pool flushes
+    (packets lost without reliability — losses are the point: they
+    are what GM's retransmission exists to recover, tested in
+    tests/test_gm_reliability.py).
+    """
+    from repro.routing.routes import ItbRoute, SourceRoute
+    from repro.sim.engine import Timeout
+    from repro.topology.graph import PortKind, Topology
+
+    results: dict[str, BufferPoolResult] = {}
+    for kind in ("fixed", "pool"):
+        topo = Topology(name="bufpool-star")
+        sw_a = topo.add_switch(n_ports=8, name="swA")
+        sw_b = topo.add_switch(n_ports=8, name="swB")
+        sw_c = topo.add_switch(n_ports=8, name="swC")
+        topo.connect(sw_a, 0, sw_b, 0, kind=PortKind.SAN)
+        topo.connect(sw_b, 1, sw_c, 0, kind=PortKind.SAN)
+        senders = [
+            topo.attach_host(sw_a, topo.free_port(sw_a), name=f"src{i}")
+            for i in range(n_senders)
+        ]
+        transit = topo.attach_host(sw_b, topo.free_port(sw_b), name="transit")
+        sinks = [
+            topo.attach_host(sw_c, topo.free_port(sw_c), name=f"dst{i}")
+            for i in range(n_senders)
+        ]
+
+        t = Timings().with_overrides(host_jitter_sigma_ns=0.0)
+        config = NetworkConfig(
+            firmware="itb", routing="updown", timings=t, seed=seed,
+            recv_buffer_kind=kind, pool_bytes=pool_bytes, reliable=False,
+        )
+        net = build_network(topo, config=config)
+        sim = net.sim
+
+        done = sim.event("burst-done")
+        counts = {"outstanding": 0, "delivered": 0, "offered": 0,
+                  "lat": []}
+
+        def on_final(tp):
+            counts["outstanding"] -= 1
+            if not tp.dropped:
+                counts["delivered"] += 1
+                counts["lat"].append(
+                    (tp.t_complete_dst or 0) - (tp.t_inject or 0))
+            if counts["outstanding"] == 0 and not done.triggered:
+                done.succeed()
+
+        def route_for(src_host: int, dst_host: int) -> ItbRoute:
+            seg1 = SourceRoute(
+                src=src_host, dst=transit,
+                ports=(0, topo.port_toward(sw_b, transit)),
+                switch_path=(sw_a, sw_b),
+            )
+            seg2 = SourceRoute(
+                src=transit, dst=dst_host,
+                ports=(1, topo.port_toward(sw_c, dst_host)),
+                switch_path=(sw_b, sw_c),
+            )
+            return ItbRoute((seg1, seg2))
+
+        def blaster(src_host: int, dst_host: int):
+            nic = net.nics[src_host]
+            route = route_for(src_host, dst_host)
+            for _ in range(packets_per_sender):
+                counts["offered"] += 1
+                counts["outstanding"] += 1
+                nic.firmware.host_send(
+                    dst=dst_host, payload_len=packet_size,
+                    gm={"last": True}, on_delivered=on_final, route=route,
+                )
+                yield Timeout(200.0)  # near-simultaneous burst
+
+        for src, dst in zip(senders, sinks):
+            sim.process(blaster(src, dst), name=f"blast[{src}]")
+        sim.run_until_event(done)
+
+        transit_nic = net.nics[transit]
+        import numpy as np
+
+        results[kind] = BufferPoolResult(
+            kind=kind,
+            delivered=counts["delivered"],
+            offered=counts["offered"],
+            flushed=transit_nic.stats.packets_flushed,
+            recv_blocked_ns=transit_nic.stats.recv_blocked_ns,
+            mean_latency_ns=float(np.mean(counts["lat"])) if counts["lat"]
+            else 0.0,
+        )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# A3: detection/programming cost sweep
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TimingSweepRow:
+    """Per-ITB overhead under one firmware cost assumption."""
+
+    label: str
+    early_recv_cycles: int
+    program_dma_cycles: int
+    overhead_ns: float
+    firmware_cost_ns: float = 0.0
+
+
+def run_ablation_timing(
+    size: int = 64,
+    iterations: int = 30,
+    seed: int = 2001,
+    regimes: Optional[Sequence[tuple[str, int, int]]] = None,
+) -> list[TimingSweepRow]:
+    """Sweep the ITB firmware costs from the [2,3] assumption to the
+    measured implementation and beyond."""
+    base = Timings()
+    if regimes is None:
+        regimes = (
+            # [2,3] assumed 275 ns detect + 200 ns DMA program.
+            ("simulation-assumption [2,3]", 18, 13),
+            # This paper's measured implementation (~1.3 us).
+            ("gm-implementation (paper)", base.itb_early_recv_cycles,
+             base.itb_program_dma_cycles),
+            # A hypothetical hardware-assisted detection.
+            ("hardware-assisted", 6, 6),
+        )
+    rows: list[TimingSweepRow] = []
+    for label, early, prog in regimes:
+        t = base.with_overrides(
+            itb_early_recv_cycles=early, itb_program_dma_cycles=prog,
+        )
+        res = run_fig8(sizes=(size,), iterations=iterations,
+                       timings=t, seed=seed)
+        rows.append(
+            TimingSweepRow(
+                label=label,
+                early_recv_cycles=early,
+                program_dma_cycles=prog,
+                overhead_ns=res.rows[0].overhead_ns,
+                firmware_cost_ns=t.itb_forward_ns,
+            )
+        )
+    return rows

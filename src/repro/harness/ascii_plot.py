@@ -1,0 +1,101 @@
+"""Terminal line plots for the figure series.
+
+The paper's Figures 7 and 8 are latency-vs-size curves; the benchmark
+harness prints them as compact ASCII charts so a reproduction run
+shows the *shape* at a glance without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+__all__ = ["line_plot"]
+
+_MARKERS = "ox+*#@"
+
+
+def _format_tick(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000 or abs(v) < 0.01:
+        return f"{v:.1e}"
+    return f"{v:.3g}"
+
+
+def line_plot(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    logx: bool = False,
+) -> str:
+    """Render one or more y-series over shared x values.
+
+    Each series gets a marker from ``o x + * # @`` (in insertion
+    order); collisions print the later series' marker.  Returns the
+    chart as a string.
+    """
+    if not xs:
+        raise ValueError("need at least one x value")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length != xs length")
+    if len(series) > len(_MARKERS):
+        raise ValueError(f"at most {len(_MARKERS)} series supported")
+
+    def xt(x: float) -> float:
+        if logx:
+            if x <= 0:
+                raise ValueError("logx needs positive x values")
+            return math.log10(x)
+        return float(x)
+
+    tx = [xt(x) for x in xs]
+    x_lo, x_hi = min(tx), max(tx)
+    all_y = [y for ys in series.values() for y in ys]
+    y_lo, y_hi = min(all_y), max(all_y)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, ys), marker in zip(series.items(), _MARKERS):
+        for x, y in zip(tx, ys):
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_top, y_bot = _format_tick(y_hi), _format_tick(y_lo)
+    label_w = max(len(y_top), len(y_bot))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = y_top.rjust(label_w)
+        elif i == height - 1:
+            label = y_bot.rjust(label_w)
+        else:
+            label = " " * label_w
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_w + " +" + "-" * width)
+    x_left, x_right = _format_tick(min(xs)), _format_tick(max(xs))
+    pad = width - len(x_left) - len(x_right)
+    lines.append(" " * (label_w + 2) + x_left + " " * max(1, pad) + x_right)
+    legend = "   ".join(
+        f"{marker}={name}" for (name, _), marker in
+        zip(series.items(), _MARKERS)
+    )
+    footer = []
+    if xlabel:
+        footer.append(xlabel)
+    if ylabel:
+        footer.append(f"y: {ylabel}")
+    footer.append(legend)
+    lines.append(" " * (label_w + 2) + "    ".join(footer))
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""EXP-F1: minimal routes enabled by ITBs (paper Figure 1).
+
+Figure 1 is illustrative, not a measurement, so the reproduction is a
+route-analysis table over the Figure-1-style irregular network: for
+the highlighted pair (switch 4 -> switch 1) and for all pairs, compare
+minimal, up*/down*, and ITB route lengths, and verify the deadlock
+properties (up*/down* and ITB channel-dependency graphs acyclic,
+unsplit minimal routing cyclic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.routing.cdg import is_deadlock_free
+from repro.routing.itb import ItbRouter
+from repro.routing.minimal import MinimalRouter
+from repro.routing.spanning_tree import build_orientation
+from repro.routing.updown import UpDownRouter
+from repro.topology.generators import fig1_topology
+
+__all__ = ["Fig1Result", "run_fig1"]
+
+
+@dataclass
+class Fig1Result:
+    """Route-length comparison and deadlock verdicts."""
+
+    # The showcased pair: hosts on switches 4 and 1.
+    showcase_minimal_len: int = 0
+    showcase_updown_len: int = 0
+    showcase_itb_len: int = 0
+    showcase_itb_hosts: tuple = ()
+    showcase_itb_inter_switch_hops: int = 0
+    showcase_updown_inter_switch_hops: int = 0
+    # All-pairs averages (switch traversals per route).
+    avg_minimal: float = 0.0
+    avg_updown: float = 0.0
+    avg_itb: float = 0.0
+    pairs_itb_shorter: int = 0
+    n_pairs: int = 0
+    # Deadlock analysis.
+    updown_deadlock_free: bool = False
+    itb_deadlock_free: bool = False
+    minimal_deadlock_free: bool = True  # expected False
+    # Root-switch traffic concentration (fraction of routes crossing it).
+    root_cross_updown: float = 0.0
+    root_cross_itb: float = 0.0
+
+
+def run_fig1() -> Fig1Result:
+    """Regenerate the Figure 1 analysis."""
+    topo, roles = fig1_topology()
+    orientation = build_orientation(topo, root=roles["sw0"])
+    ud = UpDownRouter(topo, orientation)
+    itb = ItbRouter(topo, orientation)
+    mn = MinimalRouter(topo)
+
+    out = Fig1Result()
+    src, dst = roles["host_on_sw4"], roles["host_on_sw1"]
+    r_min = mn.route(src, dst)
+    r_ud = ud.route(src, dst)
+    r_itb = itb.itb_route(src, dst)
+    out.showcase_minimal_len = r_min.n_switches
+    out.showcase_updown_len = r_ud.n_switches
+    out.showcase_itb_len = r_itb.n_switches
+    out.showcase_itb_hosts = r_itb.itb_hosts
+    out.showcase_itb_inter_switch_hops = len(r_itb.switch_hops())
+    out.showcase_updown_inter_switch_hops = len(r_ud.switch_hops())
+
+    hosts = topo.hosts()
+    min_lens, ud_lens, itb_lens = [], [], []
+    ud_routes, itb_routes, min_routes = [], [], []
+    root = roles["sw0"]
+    root_ud = root_itb = 0
+    for s in hosts:
+        for d in hosts:
+            if s == d:
+                continue
+            rm = mn.route(s, d)
+            ru = ud.route(s, d)
+            ri = itb.itb_route(s, d)
+            min_lens.append(rm.n_switches)
+            ud_lens.append(ru.n_switches)
+            itb_lens.append(ri.n_switches)
+            min_routes.append(rm)
+            ud_routes.append(ru)
+            itb_routes.append(ri)
+            if len(ri.switch_hops()) < len(ru.switch_hops()):
+                out.pairs_itb_shorter += 1
+            if root in ru.switch_path:
+                root_ud += 1
+            if any(root in seg.switch_path for seg in ri.segments):
+                root_itb += 1
+    out.n_pairs = len(min_lens)
+    out.avg_minimal = float(np.mean(min_lens))
+    out.avg_updown = float(np.mean(ud_lens))
+    out.avg_itb = float(np.mean(itb_lens))
+    out.root_cross_updown = root_ud / out.n_pairs
+    out.root_cross_itb = root_itb / out.n_pairs
+
+    out.updown_deadlock_free = is_deadlock_free(topo, ud_routes)
+    out.itb_deadlock_free = is_deadlock_free(topo, itb_routes)
+    out.minimal_deadlock_free = is_deadlock_free(topo, min_routes)
+    return out

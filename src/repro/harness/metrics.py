@@ -1,0 +1,62 @@
+"""Latency/throughput statistics helpers shared by the harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["LatencySummary", "summarize_latencies", "saturation_point"]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics of a latency sample (ns)."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    p50: float
+    p99: float
+    maximum: float
+
+    @property
+    def mean_us(self) -> float:
+        return self.mean / 1000.0
+
+
+def summarize_latencies(samples: Sequence[float]) -> LatencySummary:
+    """Compute the standard summary over a latency sample."""
+    if len(samples) == 0:
+        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    a = np.asarray(samples, dtype=float)
+    return LatencySummary(
+        n=int(a.size),
+        mean=float(a.mean()),
+        std=float(a.std()),
+        minimum=float(a.min()),
+        p50=float(np.percentile(a, 50)),
+        p99=float(np.percentile(a, 99)),
+        maximum=float(a.max()),
+    )
+
+
+def saturation_point(
+    offered: Sequence[float], accepted: Sequence[float], tolerance: float = 0.95
+) -> float:
+    """Estimate the saturation load from a load sweep.
+
+    Returns the highest offered load at which accepted throughput is
+    still at least ``tolerance`` x offered (i.e. the network keeps
+    up); past saturation accepted flattens or collapses while offered
+    keeps growing.
+    """
+    if len(offered) != len(accepted):
+        raise ValueError("offered/accepted length mismatch")
+    best = 0.0
+    for o, a in zip(offered, accepted):
+        if o > 0 and a >= tolerance * o:
+            best = max(best, o)
+    return best

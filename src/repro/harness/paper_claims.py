@@ -1,0 +1,167 @@
+"""The paper's reported numbers, as machine-checkable claims.
+
+Single source of truth for every quantitative statement in the
+paper's evaluation (plus the motivation-level claims from the
+referenced studies [2,3]).  The benchmark suite and EXPERIMENTS.md
+both draw from here, and tests cross-check the timing model's derived
+constants against these claims so calibration drift gets caught.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Claim", "CLAIMS", "claim"]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One quantitative statement from the paper.
+
+    Attributes
+    ----------
+    key:
+        Machine id, e.g. ``"f7.mean_overhead_ns"``.
+    statement:
+        The claim in the paper's own terms.
+    source:
+        Where in the paper it appears.
+    value / low / high:
+        Nominal value and the acceptance band used by the benchmark
+        assertions (bands encode "shape must hold", not measurement
+        error bars).
+    unit:
+        Unit of ``value``.
+    """
+
+    key: str
+    statement: str
+    source: str
+    value: float
+    low: float
+    high: float
+    unit: str
+
+    def holds(self, measured: float) -> bool:
+        """Whether a measured value lands inside the acceptance band."""
+        return self.low <= measured <= self.high
+
+    def describe(self, measured: Optional[float] = None) -> str:
+        """One-line rendering, optionally with a measured verdict."""
+        s = f"{self.key}: paper {self.value:g} {self.unit} ({self.source})"
+        if measured is not None:
+            verdict = "OK" if self.holds(measured) else "VIOLATED"
+            s += f"; measured {measured:g} {self.unit} [{verdict}]"
+        return s
+
+
+_ALL = [
+    # ---- Figure 7 (Section 5, first test) -----------------------------
+    Claim(
+        key="f7.mean_overhead_ns",
+        statement="difference in measured latencies ... on average, is"
+                  " equal to 125 ns",
+        source="Section 5, Figure 7 discussion",
+        value=125.0, low=100.0, high=160.0, unit="ns",
+    ),
+    Claim(
+        key="f7.max_overhead_ns",
+        statement="difference in measured latencies does not exceed 300 ns",
+        source="Section 5, Figure 7 discussion",
+        value=300.0, low=0.0, high=300.0, unit="ns",
+    ),
+    Claim(
+        key="f7.relative_short_pct",
+        statement="relative overhead ... 1% for very short packets",
+        source="Section 5, Figure 7 discussion",
+        value=1.0, low=0.5, high=2.5, unit="%",
+    ),
+    Claim(
+        key="f7.relative_long_pct",
+        statement="relative overhead ... 0.4% for long packets",
+        source="Section 5, Figure 7 discussion",
+        value=0.4, low=0.0, high=0.7, unit="%",
+    ),
+    # ---- Figure 8 (Section 5, second test) ----------------------------
+    Claim(
+        key="f8.overhead_ns",
+        statement="the cost of detecting an ITB packet and handling its"
+                  " re-injection is around 1.3 us",
+        source="Section 5, Figure 8 discussion",
+        value=1300.0, low=1100.0, high=1600.0, unit="ns",
+    ),
+    Claim(
+        key="f8.prior_estimate_ns",
+        statement="this value is higher than our estimations used in"
+                  " previous studies (around 0.5 us) [2,3]",
+        source="Section 5, Figure 8 discussion",
+        value=500.0, low=400.0, high=650.0, unit="ns",
+    ),
+    Claim(
+        key="f8.relative_short_pct",
+        statement="relative overhead ... ranges from 10% for short packets",
+        source="Section 5, Figure 8 discussion",
+        value=10.0, low=5.0, high=16.0, unit="%",
+    ),
+    Claim(
+        key="f8.relative_long_pct",
+        statement="... to 3% for long packets",
+        source="Section 5, Figure 8 discussion",
+        value=3.0, low=0.0, high=4.5, unit="%",
+    ),
+    # ---- motivation (Section 2, summarizing [2,3]) ---------------------
+    Claim(
+        key="m1.throughput_ratio_64sw",
+        statement="network throughput can be easily doubled and, in some"
+                  " cases, tripled",
+        source="Section 2 (results of [2,3])",
+        value=2.0, low=1.5, high=3.5, unit="x",
+    ),
+    # ---- methodology constants -----------------------------------------
+    Claim(
+        key="method.early_recv_bytes",
+        statement="triggered by the LANai hardware when the first four"
+                  " bytes of a packet are received",
+        source="Section 4",
+        value=4.0, low=4.0, high=4.0, unit="bytes",
+    ),
+    Claim(
+        key="method.mcp_buffers",
+        statement="the length of both sending and receiving queues ..."
+                  " two buffers each",
+        source="Section 4",
+        value=2.0, low=2.0, high=2.0, unit="buffers",
+    ),
+    Claim(
+        key="method.fig8_switch_crossings",
+        statement="both paths cross the same number of switches (5)",
+        source="Section 5",
+        value=5.0, low=5.0, high=5.0, unit="switches",
+    ),
+    Claim(
+        key="method.fig7_avg_crossings",
+        statement="packets traversing 2.5 switches (on average)",
+        source="Section 5",
+        value=2.5, low=2.5, high=2.5, unit="switches",
+    ),
+    Claim(
+        key="method.iterations",
+        statement="latencies have been obtained by averaging 100"
+                  " iterations for each message size",
+        source="Section 5",
+        value=100.0, low=100.0, high=100.0, unit="iterations",
+    ),
+]
+
+CLAIMS: dict[str, Claim] = {c.key: c for c in _ALL}
+
+
+def claim(key: str) -> Claim:
+    """Lookup with a helpful error."""
+    try:
+        return CLAIMS[key]
+    except KeyError:
+        raise KeyError(
+            f"no paper claim {key!r}; known: {sorted(CLAIMS)}"
+        ) from None

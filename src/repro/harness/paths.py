@@ -1,0 +1,82 @@
+"""Canonical hand-built routes on the Figure 6 testbed.
+
+The paper's evaluation does not use mapper-computed routes: both
+experiments compare *carefully constructed* paths so that only the
+quantity under test differs.  This module pins those constructions:
+
+Figure 7 paths (code-overhead test, "2.5 switches" on average):
+    * forward  host1 -> sw1 -> sw2 -> (loopback) -> sw2 -> host2
+      (3 switch crossings),
+    * reverse  host2 -> sw2 -> sw1 -> host1 (2 crossings).
+
+Figure 8 paths (per-ITB overhead test, 5 switch crossings each, all
+five crossings through one LAN and one SAN port):
+    * ``ud5``  — host1 -> sw1 -> sw2 -> sw1 -> sw2 -> (loopback) ->
+      sw2 -> host2, using the SAN-A, LAN, SAN-B inter-switch cables so
+      no directed channel repeats,
+    * ``itb5`` — host1 -> sw1 -> sw2 -> **in-transit host** -> sw2 ->
+      sw1 -> sw2 -> host2 (one ITB, same five port-kind pairs),
+    * the pong direction always takes the plain 2-crossing route, so
+      "only one ITB is used" per round trip and the half-RTT
+      difference x2 isolates one ITB (paper Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.routing.routes import ItbRoute, SourceRoute
+from repro.topology.graph import Topology
+
+__all__ = ["Fig6Paths", "fig6_paths"]
+
+
+@dataclass(frozen=True)
+class Fig6Paths:
+    """All hand-built routes used by the Figure 7/8 experiments."""
+
+    #: Figure 7 forward path (3 crossings, through the loopback).
+    fig7_fwd: SourceRoute
+    #: Figure 7 / plain reverse path (2 crossings).
+    rev2: SourceRoute
+    #: Figure 8 up*/down* reference path (5 crossings).
+    ud5: SourceRoute
+    #: Figure 8 in-transit path (5 crossings, one ITB).
+    itb5: ItbRoute
+    #: Plain 2-crossing forward path (baseline/correctness runs).
+    fwd2: SourceRoute
+
+
+def fig6_paths(topo: Topology, roles: dict[str, int]) -> Fig6Paths:
+    """Build (and verify) the canonical routes for a fig6 testbed."""
+    h1, h2, itb = roles["host1"], roles["host2"], roles["itb"]
+    sw1, sw2 = roles["sw1"], roles["sw2"]
+
+    fig7_fwd = SourceRoute(
+        src=h1, dst=h2, ports=(0, 6, 1), switch_path=(sw1, sw2, sw2)
+    )
+    rev2 = SourceRoute(src=h2, dst=h1, ports=(0, 5), switch_path=(sw2, sw1))
+    fwd2 = SourceRoute(src=h1, dst=h2, ports=(0, 1), switch_path=(sw1, sw2))
+    # SAN-A out, LAN back, SAN-B out, loopback, exit to host2: five
+    # crossings, each through one LAN and one SAN port, no directed
+    # channel used twice.
+    ud5 = SourceRoute(
+        src=h1, dst=h2, ports=(0, 4, 2, 6, 1),
+        switch_path=(sw1, sw2, sw1, sw2, sw2),
+    )
+    itb5 = ItbRoute((
+        SourceRoute(src=h1, dst=itb, ports=(0, 5), switch_path=(sw1, sw2)),
+        SourceRoute(src=itb, dst=h2, ports=(0, 4, 1),
+                    switch_path=(sw2, sw1, sw2)),
+    ))
+
+    # Verify deliverability against the actual cabling.
+    assert topo.walk_route(h1, list(fig7_fwd.ports)) == h2
+    assert topo.walk_route(h2, list(rev2.ports)) == h1
+    assert topo.walk_route(h1, list(fwd2.ports)) == h2
+    assert topo.walk_route(h1, list(ud5.ports)) == h2
+    assert topo.walk_route(h1, list(itb5.segments[0].ports)) == itb
+    assert topo.walk_route(itb, list(itb5.segments[1].ports)) == h2
+    assert ud5.n_switches == itb5.n_switches == 5
+    return Fig6Paths(fig7_fwd=fig7_fwd, rev2=rev2, ud5=ud5, itb5=itb5,
+                     fwd2=fwd2)

@@ -1,0 +1,129 @@
+"""Persist experiment results to JSON.
+
+Long experiments (paper-scale Figure 7/8 series, 64-switch throughput
+sweeps) are worth keeping: this module serializes the harness result
+dataclasses to plain JSON and back, so EXPERIMENTS.md refreshes and
+cross-run comparisons do not require re-simulation.
+
+Only the figure results carry schema here; anything else can ride in
+the free-form ``extra`` section.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Optional, Union
+
+import numpy as np
+
+from repro.harness.fig7 import Fig7Result, Fig7Row
+from repro.harness.fig8 import Fig8Result, Fig8Row
+from repro.harness.throughput import ThroughputResult
+
+__all__ = ["load_results", "save_results"]
+
+_FORMAT_VERSION = 1
+
+
+def _fig7_to_dict(r: Fig7Result) -> dict:
+    return {
+        "kind": "fig7",
+        "iterations": r.iterations,
+        "rows": [
+            {"size": row.size, "original_ns": row.original_ns,
+             "modified_ns": row.modified_ns}
+            for row in r.rows
+        ],
+    }
+
+
+def _fig8_to_dict(r: Fig8Result) -> dict:
+    return {
+        "kind": "fig8",
+        "iterations": r.iterations,
+        "rows": [
+            {"size": row.size, "ud_ns": row.ud_ns,
+             "ud_itb_ns": row.ud_itb_ns}
+            for row in r.rows
+        ],
+    }
+
+
+def _throughput_to_dict(r: ThroughputResult) -> dict:
+    return {
+        "kind": "throughput",
+        "n_switches": r.n_switches,
+        "packet_size": r.packet_size,
+        "seed": r.seed,
+        "points": [
+            {
+                "routing": p.routing,
+                "offered": p.offered_bytes_per_ns_per_host,
+                "accepted": p.accepted,
+                "mean_latency_ns": p.mean_latency_ns,
+                "delivered": p.stats.delivered_packets,
+                "dropped": p.stats.dropped_packets,
+            }
+            for p in r.points
+        ],
+    }
+
+
+_SERIALIZERS = {
+    Fig7Result: _fig7_to_dict,
+    Fig8Result: _fig8_to_dict,
+    ThroughputResult: _throughput_to_dict,
+}
+
+
+def save_results(
+    path: Union[str, Path],
+    results: dict,
+    extra: Optional[dict] = None,
+) -> Path:
+    """Write named results to JSON.
+
+    ``results`` maps a name (e.g. ``"fig7"``) to a supported result
+    object; unsupported values raise.  ``extra`` is stored verbatim
+    (must be JSON-serializable).
+    """
+    payload: dict[str, Any] = {"format_version": _FORMAT_VERSION,
+                               "results": {}, "extra": extra or {}}
+    for name, result in results.items():
+        serializer = _SERIALIZERS.get(type(result))
+        if serializer is None:
+            raise TypeError(
+                f"cannot persist {type(result).__name__};"
+                f" supported: {[c.__name__ for c in _SERIALIZERS]}"
+            )
+        payload["results"][name] = serializer(result)
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_results(path: Union[str, Path]) -> dict:
+    """Read results back; figure rows are rehydrated into their
+    dataclasses (throughput points come back as plain dicts — their
+    TrafficStats are aggregates, not replayable state)."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported results format {payload.get('format_version')!r}")
+    out: dict[str, Any] = {"extra": payload.get("extra", {})}
+    for name, blob in payload["results"].items():
+        kind = blob["kind"]
+        if kind == "fig7":
+            result = Fig7Result(iterations=blob["iterations"])
+            result.rows = [Fig7Row(**row) for row in blob["rows"]]
+            out[name] = result
+        elif kind == "fig8":
+            result8 = Fig8Result(iterations=blob["iterations"])
+            result8.rows = [Fig8Row(**row) for row in blob["rows"]]
+            out[name] = result8
+        elif kind == "throughput":
+            out[name] = blob  # summary dict; see docstring
+        else:
+            raise ValueError(f"unknown result kind {kind!r}")
+    return out

@@ -1,0 +1,87 @@
+"""Packet-lifecycle timelines from the structured trace.
+
+Renders the journey of one packet — injection, per-hop forwards,
+early-recv events, re-injections, delivery — as an indented, timed
+event list plus an ASCII Gantt strip.  Built from
+:class:`~repro.sim.trace.Trace` records, so it shows what actually
+happened, not what the timing constants predict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import-cycle guard
+    from repro.mcp.firmware import TransitPacket
+    from repro.sim.trace import Trace
+
+__all__ = ["PacketTimeline", "packet_timeline"]
+
+#: Trace kinds that belong to a packet's lifecycle, in display labels.
+_KIND_LABELS = {
+    "inject": "injected",
+    "early_recv": "early-recv (ITB detect)",
+    "reinject_immediate": "re-injected (fast path)",
+    "reinject_pending": "re-injection queued (engine busy)",
+    "itb_recv_complete": "reception at transit host complete",
+    "recv_blocked": "stalled: no receive buffer",
+    "flush": "FLUSHED (buffer pool full)",
+    "drop_unknown_type": "DROPPED (unknown type)",
+    "deliver": "delivered to host",
+    "fault_corrupt": "DROPPED (CRC error)",
+    "fault_lost": "LOST in flight",
+}
+
+
+@dataclass
+class PacketTimeline:
+    """The ordered lifecycle events of one packet."""
+
+    pid: int
+    events: list  # (time_ns, component, label)
+
+    @property
+    def t0(self) -> float:
+        return self.events[0][0] if self.events else 0.0
+
+    @property
+    def span_ns(self) -> float:
+        if len(self.events) < 2:
+            return 0.0
+        return self.events[-1][0] - self.events[0][0]
+
+    def render(self, width: int = 48) -> str:
+        """Timed event list plus an ASCII position strip."""
+        if not self.events:
+            return f"packet {self.pid}: no trace records"
+        t0 = self.t0
+        span = max(self.span_ns, 1e-9)
+        lines = [f"packet {self.pid} — {self.span_ns / 1000:.2f} us"
+                 f" from first record"]
+        for t, component, label in self.events:
+            col = round((t - t0) / span * (width - 1))
+            strip = "." * col + "#" + "." * (width - 1 - col)
+            lines.append(
+                f"  +{(t - t0) / 1000.0:9.3f} us |{strip}| {component:>14s}"
+                f"  {label}"
+            )
+        return "\n".join(lines)
+
+
+def packet_timeline(trace: "Trace", tp_or_pid) -> PacketTimeline:
+    """Extract the lifecycle of one packet from a trace.
+
+    Accepts a :class:`TransitPacket` or a raw pid.
+    """
+    pid = getattr(tp_or_pid, "pid", tp_or_pid)
+    events = []
+    for rec in trace.records(predicate=lambda r: r.detail.get("pid") == pid):
+        label = _KIND_LABELS.get(rec.kind, rec.kind)
+        if rec.kind == "inject":
+            seg = rec.detail.get("seg", 0)
+            label = ("injected" if seg == 0
+                     else f"re-injection on the wire (segment {seg})")
+        events.append((rec.time, rec.component, label))
+    events.sort(key=lambda e: e[0])
+    return PacketTimeline(pid=pid, events=events)

@@ -1,0 +1,66 @@
+"""The Myrinet Control Program (MCP) model.
+
+The MCP is the firmware running on the LANai processor inside every
+NIC.  This package models:
+
+* the Myrinet packet formats — original and ITB-extended
+  (:mod:`repro.mcp.packet_format`, paper Figure 3),
+* the four MCP state machines (SDMA, RDMA, Send, Recv) coordinated by
+  a prioritized event handler (:mod:`repro.mcp.firmware`, paper
+  Figures 4–5),
+* the **original GM firmware** and the **ITB-modified firmware** —
+  the paper's contribution is precisely the delta between the two,
+* NIC packet buffering: the stock two-buffer queues and the proposed
+  circular buffer pool extension (:mod:`repro.mcp.buffers`).
+"""
+
+from repro.mcp.packet_format import (
+    CRC_LEN,
+    ITB_HEADER_LEN,
+    TYPE_GM,
+    TYPE_IP,
+    TYPE_ITB,
+    TYPE_LEN,
+    TYPE_MAPPING,
+    PacketFormatError,
+    PacketImage,
+    decode_header,
+    encode_packet,
+)
+from repro.mcp.buffers import BufferPool, FixedBuffers, NicBufferError
+
+# The firmware module sits high in the import graph (it pulls in the
+# network layer, which needs this package's leaf modules), so its
+# names resolve lazily (PEP 562).
+_LAZY_FIRMWARE = {"Firmware", "ItbFirmware", "McpEventKind",
+                  "OriginalFirmware", "TransitPacket"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_FIRMWARE:
+        from repro.mcp import firmware
+
+        return getattr(firmware, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "TransitPacket",
+    "BufferPool",
+    "CRC_LEN",
+    "Firmware",
+    "FixedBuffers",
+    "ITB_HEADER_LEN",
+    "ItbFirmware",
+    "McpEventKind",
+    "NicBufferError",
+    "OriginalFirmware",
+    "PacketFormatError",
+    "PacketImage",
+    "TYPE_GM",
+    "TYPE_IP",
+    "TYPE_ITB",
+    "TYPE_LEN",
+    "TYPE_MAPPING",
+    "decode_header",
+    "encode_packet",
+]

@@ -1,0 +1,157 @@
+"""NIC packet buffering.
+
+Two implementations behind one interface:
+
+* :class:`FixedBuffers` — the stock GM arrangement the paper keeps
+  ("the length of both sending and receiving queues have been kept
+  without changes from the original MCP (two buffers each)").
+* :class:`BufferPool` — the circular-queue extension the paper
+  *proposes* (Section 4): a ring managed with head/tail pointers;
+  when full, a newly arriving packet is **flushed** and GM's
+  reliability layer retransmits it later.
+
+Both track byte occupancy against the NIC SRAM budget so tests can
+exercise the "8 MB seems to be enough" claim quantitatively.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Optional
+
+__all__ = ["BufferPool", "FixedBuffers", "NicBufferError"]
+
+
+class NicBufferError(RuntimeError):
+    """Raised on buffer misuse (free of an un-held slot, etc.)."""
+
+
+@dataclass
+class _Slot:
+    packet: Any
+    size: int
+
+
+class FixedBuffers:
+    """``n`` fixed packet slots (GM default: two).
+
+    ``try_accept`` fails when all slots are busy — with the stock
+    firmware the Recv machine then simply does not program the next
+    reception, exerting backpressure onto the wire (the wormhole
+    blocks; nothing is dropped).
+    """
+
+    kind = "fixed"
+
+    def __init__(self, n_slots: int = 2, name: str = "") -> None:
+        if n_slots < 1:
+            raise ValueError("need at least one slot")
+        self.n_slots = n_slots
+        self.name = name
+        self._slots: Deque[_Slot] = deque()
+        self.accepted = 0
+        self.rejected = 0
+
+    @property
+    def free_slots(self) -> int:
+        return self.n_slots - len(self._slots)
+
+    @property
+    def occupancy_bytes(self) -> int:
+        return sum(s.size for s in self._slots)
+
+    def can_accept(self) -> bool:
+        """Whether a slot is free right now."""
+        return len(self._slots) < self.n_slots
+
+    def try_accept(self, packet: Any, size: int) -> bool:
+        """Claim a slot for an arriving packet; False when all busy."""
+        if not self.can_accept():
+            self.rejected += 1
+            return False
+        self._slots.append(_Slot(packet, size))
+        self.accepted += 1
+        return True
+
+    def release(self, packet: Any) -> None:
+        """Free the slot holding ``packet`` (completion of RDMA or
+        re-injection)."""
+        for i, slot in enumerate(self._slots):
+            if slot.packet is packet:
+                del self._slots[i]
+                return
+        raise NicBufferError(f"{self.name}: releasing packet not held")
+
+    def drops_when_full(self) -> bool:
+        """Fixed buffers block the wire instead of dropping."""
+        return False
+
+
+class BufferPool:
+    """Circular buffer pool (the paper's proposed extension).
+
+    A ring of ``capacity_bytes`` managed by two pointers ("one pointing
+    the first incoming packet and the other pointing the next available
+    buffer").  A packet arriving when the ring cannot hold it is
+    flushed — the GM layer's retransmission recovers it.
+    """
+
+    kind = "pool"
+
+    def __init__(self, capacity_bytes: int, name: str = "") -> None:
+        if capacity_bytes < 1:
+            raise ValueError("pool needs capacity")
+        self.capacity_bytes = capacity_bytes
+        self.name = name
+        self._ring: Deque[_Slot] = deque()
+        self._used = 0
+        self.accepted = 0
+        self.flushed = 0
+
+    @property
+    def occupancy_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._used
+
+    @property
+    def n_packets(self) -> int:
+        return len(self._ring)
+
+    def can_accept(self, size: Optional[int] = None) -> bool:
+        """Whether ``size`` more bytes fit in the ring right now."""
+        return (size or 0) <= self.free_bytes
+
+    def try_accept(self, packet: Any, size: int) -> bool:
+        """Append at the tail pointer; False (flush) when it can't fit."""
+        if size > self.free_bytes:
+            self.flushed += 1
+            return False
+        self._ring.append(_Slot(packet, size))
+        self._used += size
+        self.accepted += 1
+        return True
+
+    def release(self, packet: Any) -> None:
+        """Free a held packet.
+
+        The ring frees space at the *head* pointer; out-of-order frees
+        (a re-injection completing before an older packet's) mark the
+        slot dead and space is reclaimed lazily when the head catches
+        up, matching a real two-pointer ring.  Byte accounting reflects
+        the reclaimable space immediately for simplicity of the
+        occupancy metric.
+        """
+        for i, slot in enumerate(self._ring):
+            if slot.packet is packet:
+                self._used -= slot.size
+                del self._ring[i]
+                return
+        raise NicBufferError(f"{self.name}: releasing packet not held")
+
+    def drops_when_full(self) -> bool:
+        """A full pool flushes the arriving packet (GM retransmits)."""
+        return True

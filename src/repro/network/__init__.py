@@ -1,0 +1,36 @@
+"""Wormhole network simulation.
+
+Models the Myrinet fabric at packet granularity with cut-through
+pipelining: links are pairs of directed channels (one packet each, no
+virtual channels — as on real Myrinet), switches strip one routing
+byte and impose a per-port-kind fall-through latency, and a blocked
+packet holds every channel between its tail and head (the observable
+effect of Stop&Go flow control with small slack buffers).
+"""
+
+from repro.network.fabric import Channel, Fabric
+from repro.network.worm import Worm, WormObserver
+from repro.network.faults import FaultPlan, install_fault_plan
+from repro.network.flow_control import StopGoChannel, required_slack_bytes
+from repro.network.deadlock import (
+    DeadlockReport,
+    DeadlockWatchdog,
+    detect_deadlock,
+)
+from repro.network.instrumentation import FabricUsage, attach_usage_meter
+
+__all__ = [
+    "Channel",
+    "DeadlockReport",
+    "DeadlockWatchdog",
+    "Fabric",
+    "FabricUsage",
+    "FaultPlan",
+    "StopGoChannel",
+    "Worm",
+    "WormObserver",
+    "attach_usage_meter",
+    "detect_deadlock",
+    "install_fault_plan",
+    "required_slack_bytes",
+]

@@ -1,0 +1,154 @@
+"""Runtime wormhole-deadlock detection.
+
+The CDG analysis (:mod:`repro.routing.cdg`) proves deadlock-freedom
+*statically*.  This module closes the loop dynamically: it inspects
+the live simulation's **wait-for graph** — worm A waits for a channel
+held by worm B, who waits for a channel held by C, ... — and reports
+any cycle, which is a true wormhole deadlock (every packet in the
+cycle holds a channel another needs; none can ever advance).
+
+Uses:
+
+* a **watchdog** armed on a network under load: for up*/down* and ITB
+  routing it must stay silent forever (their CDGs are acyclic); for
+  raw minimal routing on a cyclic fabric it catches the deadlock the
+  theory predicts — the dynamic counterpart of
+  ``tests/test_cdg.py``,
+* a post-mortem tool when a simulation stops making progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import-cycle guard
+    from repro.core.builder import BuiltNetwork
+    from repro.network.worm import Worm
+
+__all__ = ["DeadlockReport", "detect_deadlock", "DeadlockWatchdog"]
+
+
+@dataclass
+class DeadlockReport:
+    """Result of one wait-for-graph inspection."""
+
+    cycle: list = field(default_factory=list)  # worms forming the cycle
+    n_waiting: int = 0
+    n_holding: int = 0
+
+    @property
+    def deadlocked(self) -> bool:
+        return bool(self.cycle)
+
+    def describe(self) -> str:
+        """Human-readable account of the cycle (empty-safe)."""
+        if not self.cycle:
+            return "no deadlock: wait-for graph is acyclic"
+        chain = " -> ".join(
+            f"worm{w.worm_id}({w.segment.src}->{w.segment.dst})"
+            for w in self.cycle
+        )
+        return (f"DEADLOCK among {len(self.cycle)} packets: {chain}"
+                f" -> worm{self.cycle[0].worm_id}")
+
+
+def _wait_for_edges(net: "BuiltNetwork") -> dict:
+    """worm -> worm edges: A waits on a channel somebody holds."""
+    edges: dict = {}
+    holding = 0
+    waiting = 0
+    for channel in net.fabric.channels():
+        resource = channel.resource
+        holders = [h for h in resource.holders()
+                   if hasattr(h, "worm_id")]
+        holding += len(holders)
+        if not holders:
+            continue
+        # FIFO waiters on this channel wait for every current holder
+        # (capacity is 1 on fabric channels, so exactly one).
+        waiters = getattr(resource, "_waiters", ())
+        for owner, _ev in list(waiters):
+            if hasattr(owner, "worm_id"):
+                waiting += 1
+                edges.setdefault(owner, set()).update(holders)
+    return {"edges": edges, "holding": holding, "waiting": waiting}
+
+
+def detect_deadlock(net: "BuiltNetwork") -> DeadlockReport:
+    """Inspect the live wait-for graph once; return any cycle found."""
+    info = _wait_for_edges(net)
+    edges = info["edges"]
+    report = DeadlockReport(n_waiting=info["waiting"],
+                            n_holding=info["holding"])
+
+    # Iterative DFS cycle detection over the worm wait-for graph.
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: dict = {}
+    parent: dict = {}
+
+    for start in edges:
+        if color.get(start, WHITE) != WHITE:
+            continue
+        stack = [(start, iter(edges.get(start, ())))]
+        color[start] = GREY
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                state = color.get(nxt, WHITE)
+                if state == GREY:
+                    # Found a cycle: unwind it via the parent chain.
+                    cycle = [node]
+                    cur = node
+                    while cur is not nxt:
+                        cur = parent[cur]
+                        cycle.append(cur)
+                    cycle.reverse()
+                    report.cycle = cycle
+                    return report
+                if state == WHITE:
+                    color[nxt] = GREY
+                    parent[nxt] = node
+                    stack.append((nxt, iter(edges.get(nxt, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+    return report
+
+
+class DeadlockWatchdog:
+    """Periodic deadlock inspection during a run.
+
+    Schedules itself every ``period_ns``; on detection it records the
+    report and (by default) raises, turning a silent hang into a
+    diagnosable failure.
+    """
+
+    def __init__(self, net: "BuiltNetwork", period_ns: float = 50_000.0,
+                 raise_on_deadlock: bool = True) -> None:
+        self.net = net
+        self.period_ns = period_ns
+        self.raise_on_deadlock = raise_on_deadlock
+        self.reports: list[DeadlockReport] = []
+        self.detected: Optional[DeadlockReport] = None
+        self._armed = True
+        net.sim.schedule(period_ns, self._check)
+
+    def disarm(self) -> None:
+        """Stop future inspections (pending timers become no-ops)."""
+        self._armed = False
+
+    def _check(self) -> None:
+        if not self._armed:
+            return
+        report = detect_deadlock(self.net)
+        self.reports.append(report)
+        if report.deadlocked:
+            self.detected = report
+            if self.raise_on_deadlock:
+                raise RuntimeError(report.describe())
+            return
+        self.net.sim.schedule(self.period_ns, self._check)

@@ -1,0 +1,141 @@
+"""Fabric: directed channels and switch port bookkeeping.
+
+Every physical cable becomes two :class:`Channel` objects (one per
+direction).  A channel is a FIFO :class:`~repro.sim.resources.Resource`
+of capacity 1 — exactly one wormhole packet may occupy a Myrinet link
+direction at a time (no virtual channels) — plus the physical
+parameters needed to time a traversal.
+
+Channels are keyed ``(link_id, direction)`` with direction 0 meaning
+"entering at the (node_a, port_a) end", which stays well-defined for
+loopback cables (both ends on one switch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.timings import Timings
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource
+from repro.topology.graph import Link, PortKind, Topology, TopologyError
+
+__all__ = ["Channel", "Fabric"]
+
+
+@dataclass
+class Channel:
+    """One direction of a physical cable."""
+
+    link: Link
+    direction: int  # 0 = entering at (node_a, port_a), 1 = at (node_b, port_b)
+    from_node: int
+    from_port: int
+    to_node: int
+    to_port: int
+    resource: Resource
+    prop_ns: float
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.link.link_id, self.direction)
+
+    @property
+    def kind(self) -> PortKind:
+        return self.link.kind
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Channel link{self.link.link_id}"
+            f" ({self.from_node}:{self.from_port})->"
+            f"({self.to_node}:{self.to_port})>"
+        )
+
+
+class Fabric:
+    """All channels of a topology plus traversal-timing helpers."""
+
+    def __init__(self, sim: Simulator, topo: Topology, timings: Timings) -> None:
+        self.sim = sim
+        self.topo = topo
+        self.timings = timings
+        #: Shared registry for higher layers (e.g. "firmware_by_host",
+        #: filled by the network builder so worms can find destination
+        #: firmware objects).
+        self.meta: dict = {}
+        self._channels: dict[tuple[int, int], Channel] = {}
+        for link in topo.links:
+            ends = link.endpoints()
+            for direction in (0, 1):
+                from_node, from_port = ends[direction]
+                to_node, to_port = ends[1 - direction]
+                res = Resource(
+                    sim, capacity=1,
+                    name=(
+                        f"ch:link{link.link_id}:"
+                        f"{from_node}.{from_port}->{to_node}.{to_port}"
+                    ),
+                )
+                self._channels[(link.link_id, direction)] = Channel(
+                    link=link,
+                    direction=direction,
+                    from_node=from_node,
+                    from_port=from_port,
+                    to_node=to_node,
+                    to_port=to_port,
+                    resource=res,
+                    prop_ns=timings.propagation(link.length_m),
+                )
+
+    # ------------------------------------------------------------------
+
+    def channel(self, link_id: int, direction: int) -> Channel:
+        """The channel for (cable, direction); raises if unknown."""
+        try:
+            return self._channels[(link_id, direction)]
+        except KeyError:
+            raise TopologyError(
+                f"no channel ({link_id}, {direction})"
+            ) from None
+
+    def out_channel(self, node: int, port: int) -> Channel:
+        """Channel leaving ``node`` through its ``port``."""
+        link = self.topo.link_at(node, port)
+        if link is None:
+            raise TopologyError(f"node {node} port {port} is not cabled")
+        return self.channel(link.link_id, link.direction_from(node, port))
+
+    def channel_between(self, from_node: int, to_node: int) -> Channel:
+        """Channel of the lowest-id non-loop cable from one node to another."""
+        links = [l for l in self.topo.links_between(from_node, to_node)
+                 if not l.is_loop]
+        if not links:
+            raise TopologyError(f"no cable between {from_node} and {to_node}")
+        link = links[0]
+        return self.out_channel(from_node, link.port_at(from_node))
+
+    def host_out(self, host: int) -> Channel:
+        """Injection channel of a host's NIC (host port is always 0)."""
+        return self.out_channel(host, 0)
+
+    def host_in(self, host: int) -> Channel:
+        """Delivery channel into a host's NIC."""
+        link = self.topo.host_link(host)
+        far_node, far_port = link.far_end(host, 0)
+        return self.out_channel(far_node, far_port)
+
+    def channels(self) -> list[Channel]:
+        """Every channel of the fabric, in stable key order."""
+        return [self._channels[k] for k in sorted(self._channels)]
+
+    # ------------------------------------------------------------------
+
+    def fall_through(self, in_channel: Channel, out_channel: Channel) -> float:
+        """Switch fall-through latency between two port kinds."""
+        return self.timings.fall_through(in_channel.kind, out_channel.kind)
+
+    def utilization_snapshot(self) -> dict[tuple[int, int], int]:
+        """Channels currently held (for contention diagnostics)."""
+        return {
+            key: ch.resource.in_use for key, ch in self._channels.items()
+        }

@@ -1,0 +1,131 @@
+"""Fault injection: lossy and corrupting links.
+
+GM advertises "reliable and ordered packet delivery in presence of
+network faults" (paper Section 3).  To exercise that claim, this
+module lets tests and experiments degrade individual channels:
+
+* **corruption** — the packet arrives with flipped payload bits; the
+  destination NIC's CRC check fails and the packet is dropped (GM's
+  reliability layer then retransmits),
+* **loss** — the packet vanishes mid-flight (cable pulled, switch
+  reset); the worm's channels are released and nothing arrives.
+
+Faults are deterministic per (seed, packet) so runs replay exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import-cycle guard
+    from repro.core.builder import BuiltNetwork
+    from repro.mcp.firmware import Firmware, TransitPacket
+    from repro.network.worm import Worm
+
+__all__ = ["FaultPlan", "install_fault_plan"]
+
+
+@dataclass
+class FaultPlan:
+    """Per-network fault configuration.
+
+    Attributes
+    ----------
+    corrupt_probability:
+        Chance a delivered packet arrives CRC-broken.
+    loss_probability:
+        Chance a packet is lost outright in flight.
+    seed:
+        Seeds the fault RNG (deterministic).
+    """
+
+    corrupt_probability: float = 0.0
+    loss_probability: float = 0.0
+    seed: int = 99
+    # counters
+    corrupted: int = 0
+    lost: int = 0
+    _rng: Optional[np.random.Generator] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        for p in (self.corrupt_probability, self.loss_probability):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError("fault probabilities must be in [0, 1]")
+        self._rng = np.random.default_rng(self.seed)
+
+    def roll(self) -> str:
+        """Fate of one packet: 'ok', 'corrupt', or 'lost'."""
+        x = float(self._rng.random())
+        if x < self.loss_probability:
+            self.lost += 1
+            return "lost"
+        if x < self.loss_probability + self.corrupt_probability:
+            self.corrupted += 1
+            return "corrupt"
+        return "ok"
+
+
+class _FaultyFirmwareMixin:
+    """Wraps a firmware's receive hooks with the fault plan.
+
+    Installed by monkey-wrapping ``on_complete`` on each NIC firmware:
+    corrupt packets fail the CRC check at the Recv machine and are
+    dropped (counted as ``crc_drops`` on the plan); lost packets are
+    simulated by dropping at completion (the worm already released the
+    channels — equivalent to the tail being cut).
+    """
+
+
+def install_fault_plan(net: "BuiltNetwork", plan: FaultPlan) -> None:
+    """Degrade every host-delivery path of ``net`` with ``plan``.
+
+    Only data-bearing packets (GM data, IP fragments, TCP segments)
+    with at least one byte of payload are subject to faults; mapping scouts
+    and zero-payload control packets are left alone so experiments
+    converge (real GM retransmits those the same way, it's just noise
+    for our purposes).
+    """
+    for host, fw in net.fabric.meta["firmware_by_host"].items():
+        _wrap_firmware(fw, plan)
+
+
+def _wrap_firmware(fw: "Firmware", plan: FaultPlan) -> None:
+    original_on_complete = fw.on_complete
+
+    def on_complete(worm, t_now: float) -> None:
+        tp = worm.meta["tp"]
+        eligible = (
+            not tp.dropped
+            and tp.payload_len > 0
+            and tp.gm.get("kind", "data") in ("data", "ip", "tcp")
+            and not worm.image.is_itb()  # fault applies at final NIC
+        )
+        if eligible:
+            fate = plan.roll()
+            if fate != "ok":
+                tp.dropped = True
+                tp.drop_reason = (
+                    "crc-error" if fate == "corrupt" else "lost-in-flight"
+                )
+                fw.nic.stats.packets_dropped_unknown += 0  # not unknown-type
+                fw.nic.emit("fault_" + fate, pid=tp.pid)
+                # Free the receive buffer the claim took at on_header.
+                try:
+                    fw.nic.recv_buffers.release(tp)
+                    fw._admit_recv_waiter()
+                except Exception:
+                    pass  # packet was flushed before buffering
+                drained = worm.meta.get("on_drained")
+                if drained is not None and not drained.triggered:
+                    drained.succeed()
+                if tp.on_delivered is not None:
+                    tp.on_delivered(tp)
+                return
+        original_on_complete(worm, t_now)
+
+    fw.on_complete = on_complete  # type: ignore[method-assign]

@@ -1,0 +1,168 @@
+"""Channel-utilization instrumentation.
+
+The paper's introduction names three up*/down* pathologies: non-minimal
+routing, **unbalanced traffic** ("these routings tend to saturate the
+zone near the root switch"), and wormhole contention.  Route-counting
+(EXP-F1) shows the imbalance statically; this module measures it
+*dynamically*: per-channel busy time and packet counts observed while
+real traffic runs, plus summary statistics (max/mean link load,
+Jain's fairness index, root-adjacent concentration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import-cycle guard
+    from repro.core.builder import BuiltNetwork
+    from repro.network.fabric import Channel
+
+__all__ = ["ChannelUsage", "FabricUsage", "attach_usage_meter"]
+
+
+@dataclass
+class ChannelUsage:
+    """Observed load on one directed channel."""
+
+    key: tuple
+    from_node: int
+    to_node: int
+    packets: int = 0
+    busy_ns: float = 0.0
+    _acquired_at: dict = field(default_factory=dict, repr=False)
+
+    def utilization(self, duration_ns: float) -> float:
+        """Busy fraction over an observation window."""
+        return self.busy_ns / duration_ns if duration_ns > 0 else 0.0
+
+
+class FabricUsage:
+    """Aggregated usage over every fabric (switch-to-switch) channel.
+
+    Installed by :func:`attach_usage_meter`, which wraps each channel
+    resource's request/release bookkeeping.  Host NIC cables are
+    excluded — the balance question is about the switch fabric.
+    """
+
+    def __init__(self, net: "BuiltNetwork") -> None:
+        self.net = net
+        self.t_start = net.sim.now
+        self.channels: dict[tuple, ChannelUsage] = {}
+
+    # -- summary statistics -------------------------------------------------
+
+    @property
+    def observed_ns(self) -> float:
+        return self.net.sim.now - self.t_start
+
+    def loads(self) -> np.ndarray:
+        """Per-channel busy time (ns), ascending order."""
+        return np.array(sorted(u.busy_ns for u in self.channels.values()))
+
+    def packet_counts(self) -> np.ndarray:
+        """Per-channel packet counts, ascending order."""
+        return np.array(sorted(u.packets for u in self.channels.values()))
+
+    def max_utilization(self) -> float:
+        """Busiest channel's busy fraction."""
+        loads = self.loads()
+        if loads.size == 0:
+            return 0.0
+        return float(loads.max()) / max(self.observed_ns, 1e-9)
+
+    def jain_fairness(self) -> float:
+        """Jain's index over channel busy times: 1 = perfectly even,
+        1/n = all load on one channel."""
+        loads = self.loads().astype(float)
+        if loads.size == 0 or loads.sum() == 0:
+            return 1.0
+        return float(loads.sum() ** 2 / (loads.size * (loads ** 2).sum()))
+
+    def root_concentration(self, root: Optional[int] = None) -> float:
+        """Fraction of total fabric busy time carried by channels
+        touching the spanning-tree root switch."""
+        if root is None:
+            root = self.net.orientation.root
+        total = sum(u.busy_ns for u in self.channels.values())
+        if total == 0:
+            return 0.0
+        at_root = sum(
+            u.busy_ns for u in self.channels.values()
+            if root in (u.from_node, u.to_node)
+        )
+        return at_root / total
+
+
+def attach_usage_meter(net: "BuiltNetwork") -> FabricUsage:
+    """Instrument every fabric channel of a built network.
+
+    Must be attached before traffic runs.  Only switch-to-switch
+    channels are metered.
+    """
+    usage = FabricUsage(net)
+    topo = net.topo
+    for channel in net.fabric.channels():
+        link = channel.link
+        if not (topo.is_switch(link.node_a) and topo.is_switch(link.node_b)):
+            continue
+        cu = ChannelUsage(
+            key=channel.key,
+            from_node=channel.from_node,
+            to_node=channel.to_node,
+        )
+        usage.channels[channel.key] = cu
+        _wrap_resource(net, channel, cu)
+    return usage
+
+
+class _MeteredResource:
+    """Delegating proxy around a channel's Resource that records
+    per-owner hold times (Resource uses ``__slots__``, so its methods
+    cannot be patched in place — the channel's ``resource`` attribute
+    is swapped for this wrapper instead)."""
+
+    def __init__(self, inner, cu: ChannelUsage, sim) -> None:
+        self._inner = inner
+        self._cu = cu
+        self._sim = sim
+
+    # -- metered operations ----------------------------------------------
+
+    def request(self, owner):
+        """Request the channel; grant time is recorded for metering."""
+        ev = self._inner.request(owner)
+
+        def on_grant(_ev):
+            self._cu.packets += 1
+            self._cu._acquired_at[id(owner)] = self._sim.now
+
+        ev.add_callback(on_grant)
+        return ev
+
+    def try_acquire(self, owner):
+        """Immediate acquire attempt, recorded when it succeeds."""
+        ok = self._inner.try_acquire(owner)
+        if ok:
+            self._cu.packets += 1
+            self._cu._acquired_at[id(owner)] = self._sim.now
+        return ok
+
+    def release(self, owner):
+        """Release and charge the hold time to the channel's meter."""
+        start = self._cu._acquired_at.pop(id(owner), None)
+        if start is not None:
+            self._cu.busy_ns += self._sim.now - start
+        self._inner.release(owner)
+
+    # -- passthrough -------------------------------------------------------
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def _wrap_resource(net: "BuiltNetwork", channel: "Channel",
+                   cu: ChannelUsage) -> None:
+    channel.resource = _MeteredResource(channel.resource, cu, net.sim)

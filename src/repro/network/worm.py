@@ -1,0 +1,205 @@
+"""Wormhole packet progression ("worm") through the fabric.
+
+One :class:`Worm` carries one packet image along one source-route
+segment.  The header advances hop by hop, acquiring the next directed
+channel before moving (FIFO arbitration at switch output ports); the
+fall-through latency of each switch depends on the input/output port
+kinds.  Channels are held until the tail drains at the destination —
+the behaviour of Myrinet's Stop&Go flow control, whose slack buffers
+are far smaller than a packet, so a blocked packet effectively holds
+its whole path.
+
+The destination NIC is notified twice:
+
+* ``on_header(worm, t)`` — when the first :attr:`early_recv_bytes`
+  bytes have arrived (this is what triggers the ITB firmware's
+  Early-Recv event), and
+* ``on_complete(worm, t)`` — when the last byte has arrived.
+
+Cut-through re-injection at an in-transit host is expressed by
+starting the next segment's worm before ``on_complete`` fires; the
+pipeline constraint (a byte cannot be re-sent before it arrived) is
+honoured because both links run at the same byte rate and the
+re-injection starts strictly after reception started.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+from repro.core.timings import Timings
+from repro.mcp.packet_format import PacketImage
+from repro.network.fabric import Channel, Fabric
+from repro.routing.routes import SourceRoute
+from repro.sim.engine import Simulator, Timeout
+
+__all__ = ["Worm", "WormObserver"]
+
+
+class WormObserver(Protocol):
+    """Destination-side hooks (implemented by the NIC firmware).
+
+    ``on_header`` may return an event: the worm then stalls on the
+    wire (holding its channels) until it triggers — receive-buffer
+    backpressure.
+    """
+
+    def on_header(self, worm: "Worm", t: float) -> Optional[object]:
+        """First bytes arrived; may return a gate event to stall."""
+        ...
+
+    def on_complete(self, worm: "Worm", t: float) -> None:
+        """Last byte arrived; channels already released."""
+        ...
+
+
+class Worm:
+    """One packet traversing one route segment.
+
+    Parameters
+    ----------
+    sim, fabric, timings:
+        Simulation context.
+    segment:
+        The source-route segment to follow (src may be a host NIC or an
+        in-transit host re-injecting).
+    image:
+        Packet bytes *as injected for this segment* (route bytes for
+        this segment leading).
+    observer:
+        Destination NIC hooks.
+    meta:
+        Free-form dict propagated across segments (packet id, timestamps).
+    """
+
+    _next_worm_id = 0
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: Fabric,
+        segment: SourceRoute,
+        image: PacketImage,
+        observer: WormObserver,
+        meta: Optional[dict] = None,
+    ) -> None:
+        self.sim = sim
+        self.fabric = fabric
+        self.timings: Timings = fabric.timings
+        self.segment = segment
+        self.image = image
+        self.observer = observer
+        self.meta = meta if meta is not None else {}
+        Worm._next_worm_id += 1
+        self.worm_id = Worm._next_worm_id
+        # Filled in while running:
+        self.inject_time: Optional[float] = None
+        self.header_time: Optional[float] = None
+        self.complete_time: Optional[float] = None
+        self.blocked_ns: float = 0.0
+        self._held: list[Channel] = []
+
+    # ------------------------------------------------------------------
+
+    def launch(self) -> None:
+        """Start the worm process at the current simulation time."""
+        self.sim.process(self._run(), name=f"worm{self.worm_id}")
+
+    def _run(self):
+        sim, fabric, t = self.sim, self.fabric, self.timings
+        seg = self.segment
+        self.inject_time = sim.now
+        wire_len = self.image.wire_length
+
+        # Injection channel: host NIC -> first switch.  The NIC's send
+        # DMA only starts when the wire is free (Stop&Go at the source).
+        out = fabric.host_out(seg.src)
+        yield from self._acquire(out)
+        # Leading byte reaches the first switch after propagation + one
+        # byte time on the wire.
+        head_at_input = sim.now + out.prop_ns + t.link_byte_ns
+        in_channel = out
+        image = self.image
+
+        for hop_index, port in enumerate(seg.ports):
+            switch = seg.switch_path[hop_index]
+            # The switch decodes the leading route byte and strips it.
+            _decoded_port, image = image.strip_route_byte()
+            if _decoded_port != port:
+                raise AssertionError(
+                    f"route byte {_decoded_port} != expected port {port}"
+                )
+            out = fabric.out_channel(switch, port)
+            # Routing decision + crossbar setup happen as the header
+            # arrives; the output may be busy (wormhole blocking).
+            if head_at_input > sim.now:
+                yield Timeout(head_at_input - sim.now)
+            block_start = sim.now
+            yield from self._acquire(out)
+            self.blocked_ns += sim.now - block_start
+            fall = fabric.fall_through(in_channel, out)
+            head_at_input = sim.now + fall + out.prop_ns
+            in_channel = out
+
+        # Head (first byte past all switches) reaches the destination NIC.
+        if head_at_input > sim.now:
+            yield Timeout(head_at_input - sim.now)
+        self.header_time = sim.now
+        self.image = image  # route bytes consumed; NIC sees type first
+
+        # The destination NIC's receive packet DMA streams the packet
+        # into SRAM from here on (feeds the LANai memory arbiter).
+        arbiter = getattr(getattr(self.observer, "nic", None), "arbiter", None)
+        if arbiter is not None:
+            arbiter.engine_start("recv_dma")
+        try:
+            # Early-recv notification after the first few bytes land.
+            # The observer may return a gate event (no receive buffer
+            # free): the packet then stalls on the wire, channels held
+            # — Stop&Go backpressure.
+            early = t.wire_time(min(t.early_recv_bytes, image.wire_length))
+            yield Timeout(early)
+            gate = self.observer.on_header(self, sim.now)
+            if gate is not None:
+                yield gate
+
+            # Remaining bytes stream in at link rate (cut-through
+            # pipeline: the body follows the header with no further
+            # per-switch cost).
+            remaining = t.wire_time(image.wire_length) - early
+            if remaining > 0:
+                yield Timeout(remaining)
+        finally:
+            if arbiter is not None:
+                arbiter.engine_stop("recv_dma")
+        self.complete_time = sim.now
+        self._release_all()
+        self.observer.on_complete(self, sim.now)
+        return self
+
+    # ------------------------------------------------------------------
+
+    def _acquire(self, channel: Channel):
+        if channel in self._held:
+            # A wormhole packet that routes back onto a directed
+            # channel it still occupies waits for itself forever —
+            # this deadlocks on real hardware too.  Fail loudly so
+            # hand-built test routes get a diagnosis, not a hang.
+            raise RuntimeError(
+                f"worm {self.worm_id} re-enters channel {channel!r} it"
+                " already holds (self-deadlocking route)"
+            )
+        req = channel.resource.request(owner=self)
+        yield req
+        self._held.append(channel)
+
+    def _release_all(self) -> None:
+        for ch in self._held:
+            ch.resource.release(owner=self)
+        self._held.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Worm {self.worm_id} seg {self.segment.src}->{self.segment.dst}"
+            f" len={self.image.wire_length}B>"
+        )

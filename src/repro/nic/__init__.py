@@ -1,0 +1,10 @@
+"""LANai network-interface-card model.
+
+One :class:`Nic` per host: NIC SRAM packet buffers, the (single) host
+DMA engine shared by the send and receive paths, the wire-side send
+DMA, and the firmware (MCP) that drives them all.
+"""
+
+from repro.nic.lanai import Nic, NicStats
+
+__all__ = ["Nic", "NicStats"]

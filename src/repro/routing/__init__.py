@@ -1,0 +1,49 @@
+"""Routing for source-routed irregular networks.
+
+Implements the routing machinery the paper builds on:
+
+* BFS spanning tree + up/down link orientation
+  (:mod:`repro.routing.spanning_tree`),
+* up*/down* shortest *valid* source routes (:mod:`repro.routing.updown`),
+* true minimal routes (:mod:`repro.routing.minimal`),
+* **In-Transit Buffer routes** — minimal routes split into valid
+  up*/down* segments at in-transit hosts (:mod:`repro.routing.itb`),
+* channel-dependency-graph deadlock checking (:mod:`repro.routing.cdg`),
+* per-host route tables as stamped into NIC SRAM by the mapper
+  (:mod:`repro.routing.tables`).
+"""
+
+from repro.routing.routes import (
+    Direction,
+    ItbRoute,
+    RouteError,
+    SourceRoute,
+)
+from repro.routing.spanning_tree import UpDownOrientation, build_orientation
+from repro.routing.updown import UpDownRouter
+from repro.routing.minimal import MinimalRouter, all_shortest_switch_paths
+from repro.routing.itb import ItbRouter
+from repro.routing.cdg import (
+    channel_dependency_graph,
+    find_dependency_cycle,
+    is_deadlock_free,
+)
+from repro.routing.tables import RouteTable, build_route_tables
+
+__all__ = [
+    "Direction",
+    "ItbRoute",
+    "ItbRouter",
+    "MinimalRouter",
+    "RouteError",
+    "RouteTable",
+    "SourceRoute",
+    "UpDownOrientation",
+    "UpDownRouter",
+    "all_shortest_switch_paths",
+    "build_orientation",
+    "build_route_tables",
+    "channel_dependency_graph",
+    "find_dependency_cycle",
+    "is_deadlock_free",
+]

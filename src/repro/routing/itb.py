@@ -1,0 +1,284 @@
+"""In-Transit Buffer routing: the paper's core contribution.
+
+An invalid minimal path — one containing a down->up transition — is
+legalized by *ejecting* the packet at a host attached to the switch
+where the violation occurs and re-injecting it from there, splitting
+the path into valid up*/down* segments (paper Figure 1).
+
+The router works in two stages:
+
+1. Enumerate minimal switch paths between the endpoints and pick one
+   whose violation switches all carry at least one attached host
+   (candidate in-transit hosts).
+2. Split the chosen path at those switches, producing an
+   :class:`~repro.routing.routes.ItbRoute` whose every segment passes
+   the up*/down* validity check.
+
+When no minimal path can be legalized (some violating switch has no
+host), the router either falls back to the plain up*/down* route or —
+with ``allow_longer=True`` — searches for the shortest *legalizable*
+path of any length.
+
+In-transit host selection within a switch is pluggable (policy
+callable), since the paper's follow-ups study load-aware placement.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.routing.minimal import all_shortest_switch_paths, switch_distances
+from repro.routing.routes import Direction, ItbRoute, RouteError, SourceRoute
+from repro.routing.spanning_tree import UpDownOrientation, build_orientation
+from repro.routing.updown import UpDownRouter
+from repro.topology.graph import Topology
+
+__all__ = ["ItbRouter", "first_host_policy", "round_robin_policy"]
+
+
+HostPolicy = Callable[[Topology, int, int, int], int]
+"""(topo, switch, src_host, dst_host) -> chosen in-transit host id."""
+
+
+def first_host_policy(topo: Topology, switch: int, _src: int, _dst: int) -> int:
+    """Pick the lowest-id host on the switch (deterministic default)."""
+    hosts = topo.hosts_on(switch)
+    if not hosts:
+        raise RouteError(f"switch {switch} has no attached host for an ITB")
+    return hosts[0]
+
+
+class round_robin_policy:
+    """Rotate in-transit duty over a switch's hosts.
+
+    Spreads the ejection/re-injection load over all hosts of a switch —
+    the simplest of the load-aware placements the paper's future work
+    motivates.  Stateful: each router owns one instance.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[int, int] = {}
+
+    def __call__(self, topo: Topology, switch: int, _src: int, _dst: int) -> int:
+        hosts = topo.hosts_on(switch)
+        if not hosts:
+            raise RouteError(f"switch {switch} has no attached host for an ITB")
+        k = self._counters.get(switch, 0)
+        self._counters[switch] = k + 1
+        return hosts[k % len(hosts)]
+
+
+class ItbRouter:
+    """Minimal routing legalized with in-transit buffers.
+
+    Parameters
+    ----------
+    topo:
+        The network.
+    orientation:
+        Up*/down* orientation shared with the baseline router (so both
+        routings agree on link directions, as on a real mapper).
+    host_policy:
+        In-transit host chooser per violation switch.
+    max_paths:
+        Cap on enumerated minimal paths per pair before giving up on
+        the minimal length.
+    allow_longer:
+        When the minimal length cannot be legalized, search longer
+        paths (still preferring fewest switch hops, then fewest ITBs)
+        instead of falling back to plain up*/down*.
+    """
+
+    name = "itb"
+
+    def __init__(
+        self,
+        topo: Topology,
+        orientation: Optional[UpDownOrientation] = None,
+        host_policy: HostPolicy = first_host_policy,
+        max_paths: int = 64,
+        allow_longer: bool = True,
+    ) -> None:
+        self.topo = topo
+        self.orientation = orientation or build_orientation(topo)
+        self.host_policy = host_policy
+        self.max_paths = max_paths
+        self.allow_longer = allow_longer
+        self._updown = UpDownRouter(topo, self.orientation)
+
+    # ------------------------------------------------------------------
+    # path analysis
+    # ------------------------------------------------------------------
+
+    def split_points(self, switch_path: Sequence[int]) -> list[int]:
+        """Indices of switches where the path must be split (violations)."""
+        return self.orientation.violations(self.topo, list(switch_path))
+
+    def can_legalize(self, switch_path: Sequence[int]) -> bool:
+        """True when every violation switch carries at least one host."""
+        return all(
+            bool(self.topo.hosts_on(switch_path[i]))
+            for i in self.split_points(switch_path)
+        )
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def itb_route(self, src_host: int, dst_host: int) -> ItbRoute:
+        """Compute the ITB route between two hosts.
+
+        Preference order: minimal length with fewest ITBs; then (if
+        ``allow_longer``) shortest legalizable length; then the plain
+        up*/down* route as a single segment.
+        """
+        topo = self.topo
+        if src_host == dst_host:
+            raise RouteError("source and destination host are the same")
+        s_src, s_dst = topo.switch_of(src_host), topo.switch_of(dst_host)
+
+        best: Optional[tuple[int, list[int], list[int]]] = None  # (n_itb, path, splits)
+        for path in all_shortest_switch_paths(topo, s_src, s_dst,
+                                              limit=self.max_paths):
+            splits = self.split_points(path)
+            if not all(topo.hosts_on(path[i]) for i in splits):
+                continue
+            if best is None or len(splits) < best[0]:
+                best = (len(splits), path, splits)
+            if best[0] == 0:
+                break
+        if best is not None:
+            return self._build(src_host, dst_host, best[1], best[2])
+
+        if self.allow_longer:
+            found = self._shortest_legalizable(s_src, s_dst)
+            if found is not None:
+                path, splits = found
+                return self._build(src_host, dst_host, path, splits)
+
+        # Last resort: the plain up*/down* route (always legal).
+        return self._updown.itb_route(src_host, dst_host)
+
+    def route(self, src_host: int, dst_host: int) -> ItbRoute:
+        """Alias so routers are interchangeable in the harness."""
+        return self.itb_route(src_host, dst_host)
+
+    def all_pairs(self) -> dict[tuple[int, int], ItbRoute]:
+        """ITB routes for every ordered host pair (the mapper's job)."""
+        hosts = self.topo.hosts()
+        return {
+            (s, d): self.itb_route(s, d)
+            for s in hosts
+            for d in hosts
+            if s != d
+        }
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _build(
+        self,
+        src_host: int,
+        dst_host: int,
+        switch_path: list[int],
+        splits: list[int],
+    ) -> ItbRoute:
+        """Cut ``switch_path`` at the violation switches and emit segments."""
+        topo = self.topo
+        segments: list[SourceRoute] = []
+        seg_entry_host = src_host
+        start = 0
+        cut_points = list(splits) + [len(switch_path) - 1]
+        for j, cut in enumerate(cut_points):
+            last = j == len(cut_points) - 1
+            sub_path = switch_path[start:cut + 1]
+            if last:
+                exit_host = dst_host
+            else:
+                exit_host = self.host_policy(
+                    topo, switch_path[cut], src_host, dst_host
+                )
+            ports = [topo.port_toward(a, b)
+                     for a, b in zip(sub_path, sub_path[1:])]
+            ports.append(topo.port_toward(sub_path[-1], exit_host))
+            segment = SourceRoute(
+                src=seg_entry_host,
+                dst=exit_host,
+                ports=tuple(ports),
+                switch_path=tuple(sub_path),
+            )
+            if not self.orientation.is_valid_updown_path(topo, list(sub_path)):
+                raise RouteError(
+                    f"internal error: segment {sub_path} still invalid"
+                )
+            segments.append(segment)
+            seg_entry_host = exit_host
+            start = cut  # next segment re-enters at the violation switch
+        return ItbRoute(tuple(segments))
+
+    def _shortest_legalizable(
+        self, s_src: int, s_dst: int
+    ) -> Optional[tuple[list[int], list[int]]]:
+        """BFS over (switch, direction-phase) with host-reset transitions.
+
+        State space: ``(switch, phase)`` where phase 0 = may still go
+        UP, 1 = DOWN taken.  At any switch with a host, the phase may
+        reset to 0 at the cost of one ITB; we search by (hops, itbs)
+        lexicographic cost with a Dijkstra-like expansion, giving the
+        shortest path legalizable with ITBs of any (possibly
+        super-minimal) length.
+        """
+        import heapq
+
+        topo, orient = self.topo, self.orientation
+        start = (s_src, 0)
+        # cost = (hops, itbs); parent map reconstructs path and splits
+        dist: dict[tuple[int, int], tuple[int, int]] = {start: (0, 0)}
+        parent: dict[tuple[int, int], tuple[tuple[int, int], bool]] = {}
+        heap: list[tuple[int, int, tuple[int, int]]] = [(0, 0, start)]
+        goal: Optional[tuple[int, int]] = None
+        while heap:
+            hops, itbs, state = heapq.heappop(heap)
+            if dist.get(state, (1 << 30, 1 << 30)) < (hops, itbs):
+                continue
+            u, phase = state
+            if u == s_dst:
+                goal = state
+                break
+            # ITB reset (no hop cost, +1 itb) when the switch has a host.
+            if phase == 1 and topo.hosts_on(u):
+                nstate = (u, 0)
+                ncost = (hops, itbs + 1)
+                if ncost < dist.get(nstate, (1 << 30, 1 << 30)):
+                    dist[nstate] = ncost
+                    parent[nstate] = (state, True)
+                    heapq.heappush(heap, (hops, itbs + 1, nstate))
+            for _port, v, link in topo.switch_neighbors(u):
+                d = orient.direction(link.link_id, u, v)
+                if phase == 1 and d is Direction.UP:
+                    continue
+                nphase = 1 if d is Direction.DOWN else phase
+                nstate = (v, nphase)
+                ncost = (hops + 1, itbs)
+                if ncost < dist.get(nstate, (1 << 30, 1 << 30)):
+                    dist[nstate] = ncost
+                    parent[nstate] = (state, False)
+                    heapq.heappush(heap, (hops + 1, itbs, nstate))
+        if goal is None:
+            return None
+        # Reconstruct switch path and split indices.
+        rev_states: list[tuple[tuple[int, int], bool]] = []
+        state = goal
+        while state != start:
+            prev, was_reset = parent[state]
+            rev_states.append((state, was_reset))
+            state = prev
+        path = [s_src]
+        splits: list[int] = []
+        for (st, was_reset) in reversed(rev_states):
+            if was_reset:
+                splits.append(len(path) - 1)
+            else:
+                path.append(st[0])
+        return path, splits

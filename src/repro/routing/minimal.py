@@ -1,0 +1,121 @@
+"""True minimal (shortest) routes, ignoring up*/down* restrictions.
+
+Used two ways: as the target the ITB router tries to legalize, and as
+an oracle in tests (ITB routes must match minimal length whenever an
+in-transit host is available at every violation point).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Optional
+
+from repro.routing.routes import RouteError, SourceRoute
+from repro.topology.graph import Topology
+
+__all__ = ["MinimalRouter", "all_shortest_switch_paths"]
+
+
+def _switch_adjacency(topo: Topology) -> dict[int, list[int]]:
+    return {
+        s: sorted({n for (_p, n, _l) in topo.switch_neighbors(s)})
+        for s in topo.switches()
+    }
+
+
+def switch_distances(topo: Topology, src_switch: int) -> dict[int, int]:
+    """BFS hop distances over the switch fabric."""
+    adj = _switch_adjacency(topo)
+    dist = {src_switch: 0}
+    q = deque([src_switch])
+    while q:
+        u = q.popleft()
+        for v in adj[u]:
+            if v not in dist:
+                dist[v] = dist[u] + 1
+                q.append(v)
+    return dist
+
+
+def all_shortest_switch_paths(
+    topo: Topology, src_switch: int, dst_switch: int, limit: Optional[int] = None
+) -> Iterator[list[int]]:
+    """Yield every shortest switch path, in lexicographic order.
+
+    ``limit`` caps the number of yielded paths (the count can grow
+    combinatorially on dense fabrics).
+    """
+    if src_switch == dst_switch:
+        yield [src_switch]
+        return
+    adj = _switch_adjacency(topo)
+    if src_switch not in adj or dst_switch not in adj:
+        raise RouteError("endpoints must be switches")
+    # Distances *to* the destination let us walk only along shortest DAG
+    # edges from the source.
+    dist_to_dst = switch_distances(topo, dst_switch)
+    if src_switch not in dist_to_dst:
+        raise RouteError(f"no path {src_switch} -> {dst_switch}")
+
+    yielded = 0
+    stack: list[tuple[int, list[int]]] = [(src_switch, [src_switch])]
+    while stack:
+        u, path = stack.pop()
+        if u == dst_switch:
+            yield path
+            yielded += 1
+            if limit is not None and yielded >= limit:
+                return
+            continue
+        # Push in reverse id order so pops occur in ascending order.
+        nexts = [
+            v for v in adj[u]
+            if dist_to_dst.get(v, -1) == dist_to_dst[u] - 1
+        ]
+        for v in reversed(nexts):
+            stack.append((v, path + [v]))
+
+
+class MinimalRouter:
+    """Shortest-path routing with no turn restrictions.
+
+    Not deadlock-free by itself on cyclic fabrics — that is exactly the
+    problem the ITB mechanism solves.  Provided for analysis and as a
+    building block.
+    """
+
+    name = "minimal"
+
+    def __init__(self, topo: Topology) -> None:
+        self.topo = topo
+
+    def switch_route(self, src_switch: int, dst_switch: int) -> list[int]:
+        """Lexicographically-first shortest switch path."""
+        for path in all_shortest_switch_paths(self.topo, src_switch, dst_switch,
+                                              limit=1):
+            return path
+        raise RouteError(f"no path {src_switch} -> {dst_switch}")
+
+    def route(self, src_host: int, dst_host: int) -> SourceRoute:
+        """Shortest source route between two hosts (no restrictions)."""
+        topo = self.topo
+        if src_host == dst_host:
+            raise RouteError("source and destination host are the same")
+        s_src, s_dst = topo.switch_of(src_host), topo.switch_of(dst_host)
+        switch_path = self.switch_route(s_src, s_dst)
+        ports = [topo.port_toward(a, b)
+                 for a, b in zip(switch_path, switch_path[1:])]
+        ports.append(topo.port_toward(s_dst, dst_host))
+        return SourceRoute(
+            src=src_host, dst=dst_host,
+            ports=tuple(ports), switch_path=tuple(switch_path),
+        )
+
+    def distance(self, src_host: int, dst_host: int) -> int:
+        """Minimal number of switch traversals between two hosts."""
+        s_src = self.topo.switch_of(src_host)
+        s_dst = self.topo.switch_of(dst_host)
+        dist = switch_distances(self.topo, s_src)
+        if s_dst not in dist:
+            raise RouteError(f"no path {src_host} -> {dst_host}")
+        return dist[s_dst] + 1  # hops between switches + final switch

@@ -1,0 +1,162 @@
+"""Shortest *valid* up*/down* source routes.
+
+The router searches the switch fabric with BFS over states
+``(switch, phase)`` where ``phase`` records whether a DOWN hop has
+already been taken (after which UP hops are forbidden).  This yields
+the shortest legal up*/down* path for every pair — the routing the
+Myrinet mapper computes, and the baseline the paper compares against.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.routing.routes import Direction, ItbRoute, RouteError, SourceRoute
+from repro.routing.spanning_tree import UpDownOrientation, build_orientation
+from repro.topology.graph import Topology
+
+__all__ = ["UpDownRouter"]
+
+_PHASE_UP = 0   # still allowed to take UP hops
+_PHASE_DOWN = 1  # a DOWN hop was taken; only DOWN hops remain legal
+
+
+class UpDownRouter:
+    """Computes shortest valid up*/down* routes on a topology.
+
+    Parameters
+    ----------
+    topo:
+        The network.
+    orientation:
+        Optional precomputed :class:`UpDownOrientation`; computed with
+        the default root policy when omitted.
+    """
+
+    name = "updown"
+
+    def __init__(
+        self, topo: Topology, orientation: Optional[UpDownOrientation] = None
+    ) -> None:
+        self.topo = topo
+        self.orientation = orientation or build_orientation(topo)
+
+    # ------------------------------------------------------------------
+
+    def switch_route(self, src_switch: int, dst_switch: int) -> list[int]:
+        """Shortest valid up*/down* switch path (inclusive endpoints).
+
+        Deterministic: among equal-length candidates, BFS explores
+        neighbors in ascending id order, preferring UP hops first (the
+        classical mapper bias toward climbing early).
+        """
+        topo, orient = self.topo, self.orientation
+        if not topo.is_switch(src_switch) or not topo.is_switch(dst_switch):
+            raise RouteError("switch_route endpoints must be switches")
+        if src_switch == dst_switch:
+            return [src_switch]
+
+        start = (src_switch, _PHASE_UP)
+        prev: dict[tuple[int, int], tuple[int, int]] = {}
+        seen = {start}
+        q = deque([start])
+        goal: Optional[tuple[int, int]] = None
+        while q and goal is None:
+            state = q.popleft()
+            u, phase = state
+            steps = []
+            for _port, v, link in topo.switch_neighbors(u):
+                d = orient.direction(link.link_id, u, v)
+                if phase == _PHASE_DOWN and d is Direction.UP:
+                    continue
+                nxt_phase = _PHASE_DOWN if d is Direction.DOWN else phase
+                steps.append((d is Direction.DOWN, v, nxt_phase))
+            # UP hops first, then by neighbor id: deterministic tie-break.
+            for _down, v, nxt_phase in sorted(steps):
+                nstate = (v, nxt_phase)
+                if nstate in seen:
+                    continue
+                seen.add(nstate)
+                prev[nstate] = state
+                if v == dst_switch:
+                    goal = nstate
+                    break
+                q.append(nstate)
+
+        if goal is None:
+            raise RouteError(
+                f"no valid up*/down* path {src_switch} -> {dst_switch}"
+            )
+        path = [goal[0]]
+        state = goal
+        while state != start:
+            state = prev[state]
+            path.append(state[0])
+        path.reverse()
+        return path
+
+    def route(self, src_host: int, dst_host: int) -> SourceRoute:
+        """Source route between two hosts."""
+        return self.route_via(src_host, dst_host, None)
+
+    def route_via(
+        self,
+        src_host: int,
+        dst_host: int,
+        switch_path: Optional[list[int]],
+    ) -> SourceRoute:
+        """Build a :class:`SourceRoute` along an explicit or computed
+        switch path, emitting one output-port byte per switch."""
+        topo = self.topo
+        if src_host == dst_host:
+            raise RouteError("source and destination host are the same")
+        s_src = topo.switch_of(src_host)
+        s_dst = topo.switch_of(dst_host)
+        if switch_path is None:
+            switch_path = self.switch_route(s_src, s_dst)
+        if switch_path[0] != s_src or switch_path[-1] != s_dst:
+            raise RouteError("switch_path endpoints do not match hosts")
+
+        ports: list[int] = []
+        for a, b in zip(switch_path, switch_path[1:]):
+            ports.append(topo.port_toward(a, b))
+        # Last byte: exit port of the destination switch toward the host.
+        ports.append(topo.port_toward(s_dst, dst_host))
+        route = SourceRoute(
+            src=src_host,
+            dst=dst_host,
+            ports=tuple(ports),
+            switch_path=tuple(switch_path),
+        )
+        self._check_deliverable(route)
+        return route
+
+    def itb_route(self, src_host: int, dst_host: int) -> ItbRoute:
+        """Uniform interface with :class:`ItbRouter`: a single segment."""
+        return ItbRoute((self.route(src_host, dst_host),))
+
+    # ------------------------------------------------------------------
+
+    def _check_deliverable(self, route: SourceRoute) -> None:
+        reached = self.topo.walk_route(route.src, list(route.ports))
+        if reached != route.dst:
+            raise RouteError(
+                f"route bytes deliver to node {reached}, expected {route.dst}"
+            )
+
+    def is_valid(self, route: SourceRoute) -> bool:
+        """Check the up*/down* rule over the route's switch path."""
+        return self.orientation.is_valid_updown_path(
+            self.topo, list(route.switch_path)
+        )
+
+    def all_pairs(self) -> dict[tuple[int, int], SourceRoute]:
+        """Routes for every ordered host pair (the mapper's job)."""
+        hosts = self.topo.hosts()
+        out: dict[tuple[int, int], SourceRoute] = {}
+        for s in hosts:
+            for d in hosts:
+                if s != d:
+                    out[(s, d)] = self.route(s, d)
+        return out

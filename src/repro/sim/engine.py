@@ -1,0 +1,442 @@
+"""Core discrete-event engine.
+
+Design
+------
+The engine is a classic event-calendar loop built on :mod:`heapq`.  Each
+scheduled entry is ``(time, priority, seq, callback)``; ``seq`` is a
+monotonically increasing tie-breaker that makes execution order fully
+deterministic for equal timestamps.
+
+Processes are Python generators that yield *waitables*:
+
+* :class:`Timeout` — resume after a simulated delay,
+* :class:`Event` — resume when the event is triggered,
+* another :class:`Process` — resume when it terminates (join),
+* :class:`AllOf` / :class:`AnyOf` — composite conditions.
+
+The generator protocol means process code reads like straight-line
+firmware pseudocode, which is exactly what we need to transliterate the
+MCP state machines from the paper.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the engine (e.g. re-triggering an event)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries an arbitrary payload supplied by the
+    interrupter.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot event that processes may wait on.
+
+    An event starts *untriggered*.  Calling :meth:`succeed` (or
+    :meth:`fail`) triggers it exactly once; all waiting processes are
+    resumed at the current simulation time, in FIFO order of arrival.
+    """
+
+    __slots__ = ("sim", "_value", "_exc", "triggered", "_callbacks", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.triggered = False
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._callbacks: list[Callable[["Event"], None]] = []
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    @property
+    def ok(self) -> bool:
+        """True when triggered successfully (not failed)."""
+        return self.triggered and self._exc is None
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger successfully; waiters resume with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self.triggered = True
+        self._value = value
+        self._dispatch()
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger as failed; waiters get ``exc`` raised into them."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self.triggered = True
+        self._exc = exc
+        self._dispatch()
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Register ``fn`` to run when the event triggers.
+
+        If the event has already triggered, ``fn`` is scheduled to run at
+        the current time rather than invoked synchronously, preserving
+        run-to-completion semantics for the caller.
+        """
+        if self.triggered:
+            self.sim.schedule(0.0, lambda: fn(self))
+        else:
+            self._callbacks.append(fn)
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            self.sim.schedule(0.0, lambda fn=fn: fn(self))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<Event {self.name!r} {state}>"
+
+
+class Timeout:
+    """A pure delay, yielded from inside a process: ``yield Timeout(5.0)``."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative Timeout delay: {delay}")
+        self.delay = float(delay)
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Timeout({self.delay})"
+
+
+class AllOf:
+    """Composite waitable: resumes when *all* child events have triggered.
+
+    The yielded value is the list of child event values, in input order.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterable[Event]) -> None:
+        self.events = list(events)
+
+
+class AnyOf:
+    """Composite waitable: resumes when *any* child event triggers.
+
+    The yielded value is ``(index, value)`` of the first event to fire.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterable[Event]) -> None:
+        self.events = list(events)
+
+
+ProcessGen = Generator[Any, Any, Any]
+
+
+class Process:
+    """Handle to a running generator process.
+
+    A ``Process`` is itself waitable: yielding it from another process
+    joins it (resumes the waiter when this process returns), with the
+    process's return value delivered as the yield result.
+    """
+
+    __slots__ = ("sim", "gen", "name", "_done", "_waiting_on", "_return")
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = "") -> None:
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._done = Event(sim, name=f"done:{self.name}")
+        self._waiting_on: Optional[Event] = None
+        self._return: Any = None
+
+    # -- public API ----------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return not self._done.triggered
+
+    @property
+    def done_event(self) -> Event:
+        return self._done
+
+    @property
+    def returned(self) -> Any:
+        """Return value of the generator (valid once not ``alive``)."""
+        return self._return
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a dead process is an error; interrupting a process
+        that is waiting detaches it from whatever it was waiting on.
+        """
+        if not self.alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name!r}")
+        self.sim.schedule(0.0, lambda: self._throw(Interrupt(cause)))
+
+    # -- engine internals ----------------------------------------------
+
+    def _start(self) -> None:
+        self._step(None)
+
+    def _throw(self, exc: BaseException) -> None:
+        if not self.alive:
+            return  # terminated between scheduling and delivery
+        self._waiting_on = None
+        try:
+            target = self.gen.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as err:
+            self._crash(err)
+            return
+        self._wait_on(target)
+
+    def _step(self, send_value: Any) -> None:
+        try:
+            target = self.gen.send(send_value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as err:
+            self._crash(err)
+            return
+        self._wait_on(target)
+
+    def _resume_from_event(self, event: Event) -> None:
+        if self._waiting_on is not event:
+            return  # stale wakeup (e.g. interrupted while waiting)
+        self._waiting_on = None
+        if event._exc is not None:
+            self._throw_now(event._exc)
+        else:
+            self._step(event.value)
+
+    def _throw_now(self, exc: BaseException) -> None:
+        try:
+            target = self.gen.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as err:
+            self._crash(err)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if isinstance(target, Timeout):
+            ev = Event(self.sim, name="timeout")
+            self.sim.schedule(target.delay, lambda: ev.succeed(target.value))
+            self._attach(ev)
+        elif isinstance(target, Event):
+            self._attach(target)
+        elif isinstance(target, Process):
+            self._attach(target._done)
+        elif isinstance(target, AllOf):
+            self._attach(self._make_all_of(target))
+        elif isinstance(target, AnyOf):
+            self._attach(self._make_any_of(target))
+        else:
+            self._crash(
+                SimulationError(
+                    f"process {self.name!r} yielded non-waitable {target!r}"
+                )
+            )
+
+    def _attach(self, ev: Event) -> None:
+        self._waiting_on = ev
+        ev.add_callback(self._resume_from_event)
+
+    def _make_all_of(self, composite: AllOf) -> Event:
+        done = Event(self.sim, name="all_of")
+        remaining = len(composite.events)
+        if remaining == 0:
+            self.sim.schedule(0.0, lambda: done.succeed([]))
+            return done
+        state = {"left": remaining}
+
+        def on_child(_child: Event) -> None:
+            state["left"] -= 1
+            if state["left"] == 0 and not done.triggered:
+                done.succeed([e.value for e in composite.events])
+
+        for child in composite.events:
+            child.add_callback(on_child)
+        return done
+
+    def _make_any_of(self, composite: AnyOf) -> Event:
+        done = Event(self.sim, name="any_of")
+        if not composite.events:
+            raise SimulationError("AnyOf of zero events can never trigger")
+
+        def make_cb(index: int) -> Callable[[Event], None]:
+            def on_child(child: Event) -> None:
+                if not done.triggered:
+                    done.succeed((index, child.value))
+
+            return on_child
+
+        for i, child in enumerate(composite.events):
+            child.add_callback(make_cb(i))
+        return done
+
+    def _finish(self, value: Any) -> None:
+        self._return = value
+        self._done.succeed(value)
+
+    def _crash(self, exc: BaseException) -> None:
+        self.sim._record_crash(self, exc)
+        self._return = None
+        self._done.fail(exc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Process {self.name!r} {'alive' if self.alive else 'done'}>"
+
+
+class Simulator:
+    """The event loop.
+
+    Parameters
+    ----------
+    trace:
+        Optional :class:`repro.sim.trace.Trace` receiving structured
+        records from components that support tracing.
+    """
+
+    def __init__(self, trace: Any = None) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._crashed: list[tuple[Process, BaseException]] = []
+        self.trace = trace
+
+    # -- time and scheduling -------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None], priority: int = 0
+    ) -> None:
+        """Run ``callback`` after ``delay`` ns (FIFO among equal times)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, callback))
+
+    def event(self, name: str = "") -> Event:
+        """A fresh untriggered event bound to this simulator."""
+        return Event(self, name=name)
+
+    def process(self, gen: ProcessGen, name: str = "") -> Process:
+        """Start a generator as a process at the current time."""
+        proc = Process(self, gen, name=name)
+        self.schedule(0.0, proc._start)
+        return proc
+
+    # -- running ---------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Drain the event calendar.
+
+        Stops when the calendar is empty, or when the next event is past
+        ``until`` (the clock is then advanced to ``until``), or after
+        ``max_events`` dispatches (raising, as a runaway guard).
+
+        Returns the final simulation time.  If any process died with an
+        unhandled exception during the run, the first such exception is
+        re-raised so errors are never silently swallowed.
+        """
+        dispatched = 0
+        while self._queue:
+            time, _prio, _seq, callback = self._queue[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._queue)
+            self._now = time
+            callback()
+            self._check_crashes()
+            dispatched += 1
+            if dispatched >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; runaway simulation?"
+                )
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def run_until_event(
+        self, event: Event, max_events: int = 50_000_000
+    ) -> Any:
+        """Run until ``event`` triggers; return its value.
+
+        Raises if the calendar drains without the event triggering.
+        """
+        dispatched = 0
+        while not event.triggered:
+            if not self._queue:
+                raise SimulationError(
+                    f"deadlock: calendar empty but event {event.name!r} never fired"
+                )
+            time, _prio, _seq, callback = heapq.heappop(self._queue)
+            self._now = time
+            callback()
+            self._check_crashes()
+            dispatched += 1
+            if dispatched >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; runaway simulation?"
+                )
+        if event._exc is not None:
+            raise event._exc
+        return event.value
+
+    # -- crash bookkeeping ----------------------------------------------
+
+    def _record_crash(self, proc: Process, exc: BaseException) -> None:
+        self._crashed.append((proc, exc))
+
+    def _check_crashes(self) -> None:
+        if self._crashed:
+            proc, exc = self._crashed[0]
+            raise SimulationError(
+                f"process {proc.name!r} died: {exc!r}"
+            ) from exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator t={self._now:.1f}ns pending={len(self._queue)}>"

@@ -1,0 +1,105 @@
+"""Structured event tracing.
+
+Components emit :class:`TraceRecord` entries into a shared
+:class:`Trace`.  Tests use the trace to assert ordering invariants
+(e.g. "re-injection started before full reception completed" — the
+virtual-cut-through property of the ITB implementation); the harness
+uses it to compute component-level timing breakdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+__all__ = ["Trace", "TraceRecord"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One traced occurrence.
+
+    Attributes
+    ----------
+    time:
+        Simulation time in nanoseconds.
+    component:
+        Emitting component, e.g. ``"mcp[host2]"`` or ``"switch[1]"``.
+    kind:
+        Short machine-readable tag, e.g. ``"early_recv"``, ``"reinject"``.
+    detail:
+        Free-form payload (packet id, port number, ...).
+    """
+
+    time: float
+    component: str
+    kind: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class Trace:
+    """Append-only in-memory trace with simple query helpers."""
+
+    def __init__(self, enabled: bool = True, max_records: Optional[int] = None):
+        self.enabled = enabled
+        self.max_records = max_records
+        self._records: list[TraceRecord] = []
+        self._dropped = 0
+
+    def emit(
+        self, time: float, component: str, kind: str, **detail: Any
+    ) -> None:
+        """Append one record (no-op when disabled or full)."""
+        if not self.enabled:
+            return
+        if self.max_records is not None and len(self._records) >= self.max_records:
+            self._dropped += 1
+            return
+        self._records.append(TraceRecord(time, component, kind, detail))
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    @property
+    def dropped(self) -> int:
+        return self._dropped
+
+    def records(
+        self,
+        kind: Optional[str] = None,
+        component: Optional[str] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> list[TraceRecord]:
+        """Filter records by kind and/or component and/or predicate."""
+        out = self._records
+        if kind is not None:
+            out = [r for r in out if r.kind == kind]
+        if component is not None:
+            out = [r for r in out if r.component == component]
+        if predicate is not None:
+            out = [r for r in out if predicate(r)]
+        return list(out)
+
+    def first(self, kind: str) -> Optional[TraceRecord]:
+        """Earliest record of a kind, or None."""
+        for r in self._records:
+            if r.kind == kind:
+                return r
+        return None
+
+    def last(self, kind: str) -> Optional[TraceRecord]:
+        """Latest record of a kind, or None."""
+        for r in reversed(self._records):
+            if r.kind == kind:
+                return r
+        return None
+
+    def clear(self) -> None:
+        """Drop all records and reset the dropped counter."""
+        self._records.clear()
+        self._dropped = 0

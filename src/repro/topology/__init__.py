@@ -1,0 +1,47 @@
+"""Network topology model and generators.
+
+A :class:`Topology` is a port-accurate description of a Myrinet
+installation: switches with numbered ports, hosts with a single NIC
+port, and links typed LAN or SAN (the two Myrinet physical layers —
+switch fall-through latency differs by the traversed port types, a
+detail the paper's Figure 8 methodology explicitly controls for).
+
+Generators build the paper's topologies (Figure 1 example network,
+Figure 6 evaluation testbed) plus random irregular COW topologies for
+the network-level experiments.
+"""
+
+from repro.topology.graph import (
+    Link,
+    NodeKind,
+    PortKind,
+    Topology,
+    TopologyError,
+)
+from repro.topology.generators import (
+    fig1_topology,
+    fig6_testbed,
+    linear_switches,
+    mesh_2d,
+    random_irregular,
+    star_of_switches,
+    torus_2d,
+)
+from repro.topology.export import to_dot, to_text
+
+__all__ = [
+    "Link",
+    "NodeKind",
+    "PortKind",
+    "Topology",
+    "TopologyError",
+    "fig1_topology",
+    "fig6_testbed",
+    "linear_switches",
+    "mesh_2d",
+    "random_irregular",
+    "star_of_switches",
+    "to_dot",
+    "to_text",
+    "torus_2d",
+]

@@ -1,0 +1,93 @@
+"""Topology export: Graphviz DOT and a plain-text summary.
+
+Debugging irregular topologies by reading link lists is painful; this
+module renders a :class:`~repro.topology.graph.Topology` as DOT (for
+offline rendering) or as an indented text description, optionally
+annotated with an up*/down* orientation so forbidden turns can be
+eyeballed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.topology.graph import PortKind, Topology
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a package import cycle
+    from repro.routing.spanning_tree import UpDownOrientation
+
+__all__ = ["to_dot", "to_text"]
+
+
+def to_dot(
+    topo: Topology,
+    orientation: Optional["UpDownOrientation"] = None,
+    name: str = "myrinet",
+) -> str:
+    """Render as Graphviz DOT.
+
+    Switches are boxes, hosts ellipses; LAN cables dashed, SAN solid.
+    With an orientation, fabric links become directed edges pointing
+    **up** and switches are labelled with their tree level.
+    """
+    lines = [f"graph {name} {{" if orientation is None
+             else f"digraph {name} {{"]
+    lines.append('  node [fontname="monospace"];')
+    for s in topo.switches():
+        label = topo.node_name(s)
+        if orientation is not None:
+            label += f"\\nlevel {orientation.level[s]}"
+            if s == orientation.root:
+                label += " (root)"
+        lines.append(f'  n{s} [shape=box, label="{label}"];')
+    for h in topo.hosts():
+        lines.append(f'  n{h} [shape=ellipse, label="{topo.node_name(h)}"];')
+
+    edge_op = "--" if orientation is None else "->"
+    for link in topo.links:
+        style = "dashed" if link.kind is PortKind.LAN else "solid"
+        attrs = [f"style={style}"]
+        a, b = link.node_a, link.node_b
+        if (orientation is not None
+                and link.link_id in orientation.up_end):
+            # Point the arrow toward the up end.
+            up = orientation.up_end[link.link_id]
+            down = b if up == a else a
+            lines.append(
+                f"  n{down} {edge_op} n{up}"
+                f" [{', '.join(attrs)}];"
+            )
+            continue
+        if orientation is not None:
+            attrs.append("dir=none")
+        lines.append(f"  n{a} {edge_op} n{b} [{', '.join(attrs)}];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_text(topo: Topology,
+            orientation: Optional["UpDownOrientation"] = None) -> str:
+    """Human-readable cabling summary, one node per line."""
+    lines = [f"topology {topo.name!r}: {len(topo.switches())} switches,"
+             f" {len(topo.hosts())} hosts, {len(topo.links)} cables"]
+    for s in topo.switches():
+        tag = ""
+        if orientation is not None:
+            tag = f"  [level {orientation.level[s]}"
+            tag += ", root]" if s == orientation.root else "]"
+        lines.append(f"  {topo.node_name(s)}{tag}")
+        for port, link in topo.ports_of(s).items():
+            far_node, far_port = link.far_end(s, port)
+            kind = link.kind.value.upper()
+            if far_node == s:
+                desc = f"loopback to own port {far_port}"
+            else:
+                desc = f"{topo.node_name(far_node)} port {far_port}"
+            direction = ""
+            if (orientation is not None
+                    and link.link_id in orientation.up_end
+                    and not link.is_loop):
+                direction = (" (up)" if orientation.up_end[link.link_id]
+                             != s else " (down)")
+            lines.append(f"    port {port} ({kind}) -> {desc}{direction}")
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import build_network
+from repro.core.config import NetworkConfig
+from repro.core.timings import Timings
+from repro.harness.paths import fig6_paths
+from repro.sim.engine import Simulator
+from repro.topology.generators import fig1_topology, fig6_testbed
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def quiet_timings() -> Timings:
+    """Timings with host noise disabled — fully deterministic runs."""
+    return Timings().with_overrides(host_jitter_sigma_ns=0.0)
+
+
+@pytest.fixture
+def fig6():
+    """(topology, roles) for the paper's evaluation testbed."""
+    return fig6_testbed()
+
+
+@pytest.fixture
+def fig1():
+    """(topology, roles) for the Figure 1 example network."""
+    return fig1_topology()
+
+
+def make_fig6_network(firmware: str = "itb", routing: str = "updown",
+                      timings: Timings | None = None, **kw):
+    """Build a fig6 network with deterministic timings by default."""
+    config = NetworkConfig(
+        firmware=firmware,
+        routing=routing,
+        timings=timings or Timings().with_overrides(host_jitter_sigma_ns=0.0),
+        **kw,
+    )
+    return build_network("fig6", config=config)
+
+
+@pytest.fixture
+def fig6_net_itb():
+    return make_fig6_network(firmware="itb")
+
+
+@pytest.fixture
+def fig6_net_original():
+    return make_fig6_network(firmware="original")
+
+
+@pytest.fixture
+def fig6_routes(fig6_net_itb):
+    return fig6_paths(fig6_net_itb.topo, fig6_net_itb.roles)

@@ -1,0 +1,116 @@
+"""Tests for the LANai memory-arbitration model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import build_network
+from repro.core.config import NetworkConfig
+from repro.core.timings import Timings
+from repro.nic.arbiter import MemoryArbiter
+
+
+class TestModel:
+    def test_idle_processor_runs_full_speed(self):
+        arb = MemoryArbiter(enabled=True)
+        assert arb.cpu_scale() == pytest.approx(1.0)
+        assert arb.scaled(100.0) == pytest.approx(100.0)
+
+    def test_one_dma_halves_cpu_bandwidth(self):
+        arb = MemoryArbiter(enabled=True)
+        arb.engine_start("recv_dma")
+        # budget 2.0, recv takes 1.0 -> CPU gets 1.0 of its 2.0 demand.
+        assert arb.cpu_scale() == pytest.approx(2.0)
+
+    def test_two_dmas_hit_the_floor(self):
+        arb = MemoryArbiter(enabled=True)
+        arb.engine_start("recv_dma")
+        arb.engine_start("send_dma")
+        # Nothing left by priority, but the burst-gap floor applies.
+        assert arb.cpu_scale() == pytest.approx(4.0)
+
+    def test_three_dmas_same_floor(self):
+        arb = MemoryArbiter(enabled=True)
+        for e in ("host_dma", "recv_dma", "send_dma"):
+            arb.engine_start(e)
+        assert arb.cpu_scale() == pytest.approx(4.0)
+
+    def test_stop_restores_speed(self):
+        arb = MemoryArbiter(enabled=True)
+        arb.engine_start("host_dma")
+        arb.engine_stop("host_dma")
+        assert arb.cpu_scale() == pytest.approx(1.0)
+
+    def test_disabled_always_unity(self):
+        arb = MemoryArbiter(enabled=False)
+        arb.engine_start("recv_dma")
+        arb.engine_start("send_dma")
+        assert arb.cpu_scale() == 1.0
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryArbiter().engine_start("quantum_dma")
+
+    def test_unbalanced_stop_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryArbiter().engine_stop("send_dma")
+
+    def test_nested_activity_counts(self):
+        arb = MemoryArbiter(enabled=True)
+        arb.engine_start("recv_dma")
+        arb.engine_start("recv_dma")  # two packets streaming in
+        arb.engine_stop("recv_dma")
+        # Still one active: contention persists.
+        assert arb.cpu_scale() == pytest.approx(2.0)
+
+
+class TestWiredIn:
+    def _net(self, contention: bool):
+        cfg = NetworkConfig(
+            firmware="itb", routing="updown",
+            timings=Timings().with_overrides(host_jitter_sigma_ns=0.0),
+            model_memory_contention=contention,
+        )
+        return build_network("fig6", config=cfg)
+
+    def test_balanced_after_traffic(self):
+        """Every engine_start is matched: the arbiter returns to idle."""
+        net = self._net(True)
+        net.ping_pong("host1", "host2", size=2048, iterations=3)
+        for nic in net.nics.values():
+            assert nic.arbiter.host_dma_active == 0
+            assert nic.arbiter.recv_dma_active == 0
+            assert nic.arbiter.send_dma_active == 0
+
+    def test_unloaded_ping_pong_unaffected(self):
+        """On an unloaded ping-pong the MCP code never overlaps a DMA
+        burst (SDMA finishes before the Send machine runs; the Recv
+        machine runs after the wire drains), so modeling contention
+        changes nothing — the model only bites where engines overlap."""
+        lat = {}
+        for contention in (False, True):
+            net = self._net(contention)
+            res = net.ping_pong("host1", "host2", size=1024, iterations=3)
+            lat[contention] = res.mean_ns
+        assert lat[True] == pytest.approx(lat[False], abs=1e-6)
+
+    def test_contention_increases_itb_overhead(self):
+        """The ITB forward code runs while the in-transit packet is
+        still streaming in (recv DMA active), so modeling contention
+        inflates the per-ITB cost — the EXP-A4 ablation."""
+        from repro.harness.paths import fig6_paths
+
+        ovh = {}
+        for contention in (False, True):
+            nets = [self._net(contention), self._net(contention)]
+            paths = fig6_paths(nets[0].topo, nets[0].roles)
+            ud = nets[0].ping_pong("host1", "host2", size=256, iterations=5,
+                                   route_ab=paths.ud5, route_ba=paths.rev2)
+            itb = nets[1].ping_pong("host1", "host2", size=256, iterations=5,
+                                    route_ab=paths.itb5, route_ba=paths.rev2)
+            ovh[contention] = 2.0 * (itb.mean_ns - ud.mean_ns)
+        assert ovh[True] > ovh[False]
+
+    def test_disabled_is_default(self):
+        net = build_network("fig6")
+        assert not net.nic("host1").arbiter.enabled

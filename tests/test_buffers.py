@@ -1,0 +1,102 @@
+"""Tests for NIC packet buffering (fixed slots vs circular pool)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mcp.buffers import BufferPool, FixedBuffers, NicBufferError
+
+
+class TestFixedBuffers:
+    def test_slot_accounting(self):
+        buf = FixedBuffers(n_slots=2)
+        assert buf.can_accept() and buf.free_slots == 2
+        assert buf.try_accept("p1", 100)
+        assert buf.try_accept("p2", 200)
+        assert not buf.can_accept()
+        assert buf.occupancy_bytes == 300
+
+    def test_reject_counts(self):
+        buf = FixedBuffers(n_slots=1)
+        buf.try_accept("p1", 10)
+        assert not buf.try_accept("p2", 10)
+        assert buf.accepted == 1 and buf.rejected == 1
+
+    def test_release_frees_slot(self):
+        buf = FixedBuffers(n_slots=1)
+        buf.try_accept("p1", 10)
+        buf.release("p1")
+        assert buf.try_accept("p2", 10)
+
+    def test_release_unheld_is_error(self):
+        buf = FixedBuffers(n_slots=1)
+        with pytest.raises(NicBufferError):
+            buf.release("ghost")
+
+    def test_release_specific_packet(self):
+        buf = FixedBuffers(n_slots=2)
+        buf.try_accept("p1", 10)
+        buf.try_accept("p2", 20)
+        buf.release("p1")
+        assert buf.occupancy_bytes == 20
+
+    def test_never_drops(self):
+        assert not FixedBuffers(2).drops_when_full()
+
+    def test_needs_at_least_one_slot(self):
+        with pytest.raises(ValueError):
+            FixedBuffers(n_slots=0)
+
+
+class TestBufferPool:
+    def test_byte_accounting(self):
+        pool = BufferPool(capacity_bytes=1000)
+        assert pool.try_accept("p1", 400)
+        assert pool.try_accept("p2", 500)
+        assert pool.occupancy_bytes == 900
+        assert pool.free_bytes == 100
+        assert pool.n_packets == 2
+
+    def test_flush_when_full(self):
+        pool = BufferPool(capacity_bytes=1000)
+        pool.try_accept("p1", 800)
+        assert not pool.try_accept("p2", 300)
+        assert pool.flushed == 1
+        assert pool.accepted == 1
+
+    def test_exact_fit_accepted(self):
+        pool = BufferPool(capacity_bytes=100)
+        assert pool.try_accept("p1", 100)
+        assert pool.free_bytes == 0
+
+    def test_release_reclaims_space(self):
+        pool = BufferPool(capacity_bytes=500)
+        pool.try_accept("p1", 500)
+        pool.release("p1")
+        assert pool.try_accept("p2", 500)
+
+    def test_out_of_order_release(self):
+        pool = BufferPool(capacity_bytes=300)
+        pool.try_accept("p1", 100)
+        pool.try_accept("p2", 100)
+        pool.try_accept("p3", 100)
+        pool.release("p2")  # middle packet re-injected first
+        assert pool.occupancy_bytes == 200
+        assert pool.try_accept("p4", 100)
+
+    def test_release_unheld_is_error(self):
+        pool = BufferPool(capacity_bytes=10)
+        with pytest.raises(NicBufferError):
+            pool.release("ghost")
+
+    def test_drops_when_full(self):
+        assert BufferPool(10).drops_when_full()
+
+    def test_can_accept_query(self):
+        pool = BufferPool(capacity_bytes=100)
+        assert pool.can_accept(100)
+        assert not pool.can_accept(101)
+
+    def test_needs_capacity(self):
+        with pytest.raises(ValueError):
+            BufferPool(capacity_bytes=0)

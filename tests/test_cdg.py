@@ -1,0 +1,119 @@
+"""Tests for channel-dependency-graph deadlock analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.routing.cdg import (
+    channel_dependency_graph,
+    find_dependency_cycle,
+    is_deadlock_free,
+)
+from repro.routing.itb import ItbRouter
+from repro.routing.minimal import MinimalRouter
+from repro.routing.routes import ItbRoute, SourceRoute
+from repro.routing.spanning_tree import build_orientation
+from repro.routing.updown import UpDownRouter
+from repro.topology.graph import PortKind, Topology
+
+
+def ring_topology(n: int = 4):
+    """A ring of switches — the canonical deadlock-prone fabric."""
+    topo = Topology(name=f"ring-{n}")
+    sw = [topo.add_switch(n_ports=8) for _ in range(n)]
+    for i in range(n):
+        a, b = sw[i], sw[(i + 1) % n]
+        topo.connect(a, topo.free_port(a), b, topo.free_port(b),
+                     kind=PortKind.SAN)
+    hosts = [topo.attach_host(s, topo.free_port(s)) for s in sw]
+    topo.validate()
+    return topo, sw, hosts
+
+
+def cyclic_routes(topo, sw, hosts):
+    """Hand-built routes that all turn the same way around the ring,
+    creating the textbook cyclic channel dependency."""
+    n = len(sw)
+    routes = []
+    for i in range(n):
+        j = (i + 2) % n  # two hops clockwise
+        path = [sw[i], sw[(i + 1) % n], sw[j]]
+        ports = [topo.port_toward(a, b) for a, b in zip(path, path[1:])]
+        ports.append(topo.port_toward(sw[j], hosts[j]))
+        routes.append(SourceRoute(src=hosts[i], dst=hosts[j],
+                                  ports=tuple(ports),
+                                  switch_path=tuple(path)))
+    return routes
+
+
+class TestCycleDetection:
+    def test_ring_clockwise_routes_cycle(self):
+        topo, sw, hosts = ring_topology(4)
+        routes = cyclic_routes(topo, sw, hosts)
+        cycle = find_dependency_cycle(topo, routes)
+        assert cycle is not None
+        assert not is_deadlock_free(topo, routes)
+
+    def test_itb_split_breaks_the_cycle(self):
+        """Eject-and-reinject at every second switch: the identical
+        switch walk becomes deadlock-free — the paper's core argument."""
+        topo, sw, hosts = ring_topology(4)
+        n = len(sw)
+        split_routes = []
+        for i in range(n):
+            mid = (i + 1) % n
+            j = (i + 2) % n
+            seg1 = SourceRoute(
+                src=hosts[i], dst=hosts[mid],
+                ports=(topo.port_toward(sw[i], sw[mid]),
+                       topo.port_toward(sw[mid], hosts[mid])),
+                switch_path=(sw[i], sw[mid]),
+            )
+            seg2 = SourceRoute(
+                src=hosts[mid], dst=hosts[j],
+                ports=(topo.port_toward(sw[mid], sw[j]),
+                       topo.port_toward(sw[j], hosts[j])),
+                switch_path=(sw[mid], sw[j]),
+            )
+            split_routes.append(ItbRoute((seg1, seg2)))
+        assert is_deadlock_free(topo, split_routes)
+
+    def test_updown_on_ring_acyclic(self):
+        topo, sw, hosts = ring_topology(6)
+        router = UpDownRouter(topo)
+        assert is_deadlock_free(topo, router.all_pairs().values())
+
+    def test_minimal_on_ring_cyclic(self):
+        topo, sw, hosts = ring_topology(6)
+        router = MinimalRouter(topo)
+        routes = [router.route(s, d) for s in hosts for d in hosts if s != d]
+        assert not is_deadlock_free(topo, routes)
+
+    def test_itb_router_on_ring_acyclic(self):
+        topo, sw, hosts = ring_topology(6)
+        router = ItbRouter(topo, build_orientation(topo))
+        assert is_deadlock_free(topo, router.all_pairs().values())
+
+
+class TestGraphStructure:
+    def test_nodes_are_directed_channels(self):
+        topo, sw, hosts = ring_topology(3)
+        router = UpDownRouter(topo)
+        route = router.route(hosts[0], hosts[1])
+        g = channel_dependency_graph(topo, [route])
+        # injection channel + fabric hops + delivery channel
+        assert g.number_of_nodes() == route.n_links
+        assert g.number_of_edges() == route.n_links - 1
+
+    def test_opposite_directions_are_distinct_channels(self):
+        topo, sw, hosts = ring_topology(3)
+        router = UpDownRouter(topo)
+        g = channel_dependency_graph(
+            topo,
+            [router.route(hosts[0], hosts[1]),
+             router.route(hosts[1], hosts[0])],
+        )
+        # The forward and reverse routes share the physical cable but
+        # not channels: no node appears in both chains.
+        link = topo.links_between(sw[0], sw[1])[0]
+        assert (link.link_id, 0) in g.nodes or (link.link_id, 1) in g.nodes

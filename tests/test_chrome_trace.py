@@ -1,0 +1,97 @@
+"""Tests for the Chrome-tracing export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.builder import build_network
+from repro.core.config import NetworkConfig
+from repro.core.timings import Timings
+from repro.harness.chrome_trace import to_chrome_trace, write_chrome_trace
+from repro.harness.paths import fig6_paths
+from repro.sim.trace import Trace
+
+
+def traced_run():
+    cfg = NetworkConfig(
+        firmware="itb", routing="updown", trace=True,
+        timings=Timings().with_overrides(host_jitter_sigma_ns=0.0),
+    )
+    net = build_network("fig6", config=cfg)
+    paths = fig6_paths(net.topo, net.roles)
+    done = net.sim.event("one")
+    net.nics[net.roles["host1"]].firmware.host_send(
+        dst=net.roles["host2"], payload_len=256, gm={"last": True},
+        on_delivered=lambda tp: done.succeed(tp), route=paths.itb5,
+    )
+    tp = net.sim.run_until_event(done)
+    return net, tp
+
+
+class TestConversion:
+    def test_every_record_becomes_an_instant(self):
+        net, _tp = traced_run()
+        events = to_chrome_trace(net.trace, durations=False)
+        assert len(events) == len(net.trace)
+        assert all(e["ph"] == "i" for e in events)
+
+    def test_timestamps_in_microseconds(self):
+        trace = Trace()
+        trace.emit(2_000.0, "nic[x]", "inject", pid=1, seg=0)
+        events = to_chrome_trace(trace, durations=False)
+        assert events[0]["ts"] == pytest.approx(2.0)
+
+    def test_components_become_rows(self):
+        net, _tp = traced_run()
+        events = to_chrome_trace(net.trace)
+        tids = {e["tid"] for e in events}
+        assert "nic[host1]" in tids
+        assert "nic[itb]" in tids
+        assert "nic[host2]" in tids
+
+    def test_packet_duration_pair_balanced(self):
+        net, tp = traced_run()
+        events = to_chrome_trace(net.trace, durations=True)
+        begins = [e for e in events if e.get("ph") == "b"
+                  and e.get("id") == tp.pid]
+        ends = [e for e in events if e.get("ph") == "e"
+                and e.get("id") == tp.pid]
+        assert len(begins) == 1 and len(ends) == 1
+        assert begins[0]["ts"] <= ends[0]["ts"]
+
+    def test_dropped_packet_closes_span(self):
+        """A packet dropped by the original firmware (unknown ITB
+        type) still gets a balanced span."""
+        cfg = NetworkConfig(
+            firmware="original", routing="updown", trace=True,
+            timings=Timings().with_overrides(host_jitter_sigma_ns=0.0),
+        )
+        net = build_network("fig6", config=cfg)
+        paths = fig6_paths(net.topo, net.roles)
+        done = net.sim.event("one")
+        net.nics[net.roles["host1"]].firmware.host_send(
+            dst=net.roles["host2"], payload_len=64, gm={"last": True},
+            on_delivered=lambda tp: done.succeed(tp), route=paths.itb5,
+        )
+        tp = net.sim.run_until_event(done)
+        assert tp.dropped
+        events = to_chrome_trace(net.trace, durations=True)
+        phases = [e["ph"] for e in events if e.get("id") == tp.pid]
+        assert phases.count("b") == phases.count("e") == 1
+
+
+class TestFileOutput:
+    def test_written_file_is_loadable_json(self, tmp_path):
+        net, _tp = traced_run()
+        path = write_chrome_trace(net.trace, tmp_path / "trace.json")
+        blob = json.loads(path.read_text())
+        assert "traceEvents" in blob
+        assert blob["displayTimeUnit"] == "ns"
+        assert len(blob["traceEvents"]) > 0
+
+    def test_empty_trace_ok(self, tmp_path):
+        path = write_chrome_trace(Trace(), tmp_path / "empty.json")
+        blob = json.loads(path.read_text())
+        assert blob["traceEvents"] == []

@@ -1,0 +1,65 @@
+"""Additional CLI coverage: apps subcommand, parser defaults, fig1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestAppsCommand:
+    def test_apps_runs_small(self, capsys):
+        rc = main([
+            "apps", "--switches", "4", "--iterations", "1",
+            "--packet-size", "128", "--hosts-per-switch", "1",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "EXP-M2" in out
+        assert "all-to-all" in out and "ring" in out
+
+
+class TestParserDefaults:
+    def test_fig7_defaults(self):
+        args = build_parser().parse_args(["fig7"])
+        assert args.iterations == 20
+        assert not args.full and not args.plot
+
+    def test_throughput_defaults(self):
+        args = build_parser().parse_args(["throughput"])
+        assert args.switches == 16
+        assert args.packet_size == 512
+        assert len(args.rates) == 3
+
+    def test_validate_defaults(self):
+        args = build_parser().parse_args(["validate"])
+        assert args.iterations == 20
+        assert not args.throughput
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+    def test_discover_random(self, capsys):
+        rc = main(["discover", "--topology", "random", "--switches", "4"])
+        assert rc == 0
+        assert "switches discovered" in capsys.readouterr().out
+
+
+class TestAllCommand:
+    def test_all_regenerates_and_saves(self, capsys, tmp_path):
+        out_path = tmp_path / "results.json"
+        rc = main(["all", "--iterations", "3", "--save", str(out_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fig7" in out and "fig8" in out
+        assert out_path.exists()
+        from repro.harness.persist import load_results
+
+        loaded = load_results(out_path)
+        assert "fig7" in loaded and "fig8" in loaded
+
+    def test_all_without_save(self, capsys):
+        rc = main(["all", "--iterations", "3"])
+        assert rc == 0
+        assert "per-ITB overhead" in capsys.readouterr().out

@@ -1,0 +1,169 @@
+"""Tests for the collective operations layered over GM ports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import build_network
+from repro.core.config import NetworkConfig
+from repro.core.timings import Timings
+from repro.gm.collectives import (
+    CollectiveContext,
+    all_reduce_sum,
+    barrier,
+    broadcast,
+    run_collective,
+)
+from repro.topology.generators import random_irregular
+
+
+def build_cluster(n_switches=4, hosts_per_switch=2, seed=3):
+    topo = random_irregular(n_switches, seed=seed,
+                            hosts_per_switch=hosts_per_switch)
+    cfg = NetworkConfig(
+        firmware="itb", routing="itb", reliable=True,
+        timings=Timings().with_overrides(host_jitter_sigma_ns=0.0),
+    )
+    return build_network(topo, config=cfg)
+
+
+class TestContext:
+    def test_needs_two_hosts(self):
+        net = build_cluster()
+        only = sorted(net.gm_hosts)[:1]
+        with pytest.raises(ValueError):
+            CollectiveContext(net, hosts=only)
+
+    def test_rank_mapping(self):
+        net = build_cluster()
+        ctx = CollectiveContext(net)
+        assert ctx.n == len(net.gm_hosts)
+        for h in ctx.hosts:
+            assert ctx.host_of(ctx.rank_of[h]) == h
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("n_switches,hps", [(2, 1), (4, 2), (3, 3)])
+    def test_all_exit_after_last_entry(self, n_switches, hps):
+        """Barrier semantics: nobody leaves before everyone arrived.
+
+        Ranks are staggered by increasing start delays; the earliest
+        exit time must be >= the latest entry time."""
+        from repro.sim.engine import Timeout
+
+        net = build_cluster(n_switches, hps)
+        ctx = CollectiveContext(net)
+        procs = barrier(ctx)
+        entries = {}
+
+        def staggered(rank, proc):
+            def run():
+                yield Timeout(1_000.0 * rank)
+                entries[rank] = net.sim.now
+                exit_time = yield net.sim.process(proc(),
+                                                  name=f"bar[{rank}]")
+                return exit_time
+
+            return run
+
+        handles = [net.sim.process(staggered(r, p)(), name=f"stag[{r}]")
+                   for r, p in enumerate(procs)]
+        net.sim.run(until=500_000_000)
+        exits = [h.returned for h in handles]
+        assert all(e is not None for e in exits)
+        assert min(exits) >= max(entries.values())
+
+    def test_two_hosts(self):
+        net = build_cluster(2, 1)
+        ctx = CollectiveContext(net)
+        results = run_collective(ctx, barrier(ctx))
+        assert len(results) == 2
+        assert all(r is not None for r in results)
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("root", [0, 1, 3])
+    def test_everyone_gets_the_value(self, root):
+        net = build_cluster(4, 2)
+        ctx = CollectiveContext(net)
+        results = run_collective(ctx, broadcast(ctx, root_rank=root))
+        assert results == [42] * ctx.n
+
+    def test_non_power_of_two_group(self):
+        net = build_cluster(3, 3)  # 9 hosts
+        ctx = CollectiveContext(net)
+        results = run_collective(ctx, broadcast(ctx))
+        assert results == [42] * 9
+
+
+class TestAllReduce:
+    def test_sum_correct(self):
+        net = build_cluster(4, 2)
+        ctx = CollectiveContext(net)
+        values = list(range(1, ctx.n + 1))
+        results = run_collective(ctx, all_reduce_sum(ctx, values))
+        assert results == [sum(values)] * ctx.n
+
+    def test_value_count_validated(self):
+        net = build_cluster(2, 1)
+        ctx = CollectiveContext(net)
+        with pytest.raises(ValueError):
+            all_reduce_sum(ctx, [1])
+
+    def test_non_power_of_two(self):
+        net = build_cluster(3, 2)  # 6 hosts
+        ctx = CollectiveContext(net)
+        values = [10, 20, 30, 40, 50, 60]
+        results = run_collective(ctx, all_reduce_sum(ctx, values))
+        assert results == [210] * 6
+
+
+class TestSequencing:
+    def test_barrier_then_broadcast(self):
+        """Collectives compose on the same context/ports."""
+        net = build_cluster(4, 1)
+        ctx = CollectiveContext(net)
+        run_collective(ctx, barrier(ctx))
+        results = run_collective(ctx, broadcast(ctx))
+        assert results == [42] * ctx.n
+
+
+class TestGather:
+    def test_root_collects_all_values(self):
+        from repro.gm.collectives import gather
+
+        net = build_cluster(4, 2)
+        ctx = CollectiveContext(net)
+        values = [10 * (i + 1) for i in range(ctx.n)]
+        results = run_collective(ctx, gather(ctx, values))
+        assert results[0] == values
+        assert all(r is None for r in results[1:])
+
+    def test_nonzero_root(self):
+        from repro.gm.collectives import gather
+
+        net = build_cluster(3, 2)
+        ctx = CollectiveContext(net)
+        values = list(range(ctx.n))
+        results = run_collective(ctx, gather(ctx, values, root_rank=2))
+        assert results[2] == values
+        assert results[0] is None
+
+    def test_non_power_of_two_group(self):
+        from repro.gm.collectives import gather
+
+        net = build_cluster(3, 3)  # 9 hosts
+        ctx = CollectiveContext(net)
+        values = [i * i for i in range(9)]
+        results = run_collective(ctx, gather(ctx, values))
+        assert results[0] == values
+
+    def test_value_validation(self):
+        from repro.gm.collectives import gather
+
+        net = build_cluster(2, 1)
+        ctx = CollectiveContext(net)
+        with pytest.raises(ValueError):
+            gather(ctx, [1])  # wrong count
+        with pytest.raises(ValueError):
+            gather(ctx, [1, 1 << 20])  # out of tag range

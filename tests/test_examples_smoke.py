@@ -1,0 +1,67 @@
+"""Smoke tests: every example script runs and exits cleanly.
+
+The two fastest examples run on every test invocation; the longer ones
+are gated behind ``REPRO_RUN_ALL_EXAMPLES=1`` (the benchmark/CI pass).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST = [
+    ("quickstart.py", []),
+    ("buffer_pool_reliability.py", []),
+]
+SLOW = [
+    ("reproduce_paper.py", []),
+    ("irregular_cluster.py", ["--switches", "8"]),
+    ("network_discovery.py", ["--switches", "4"]),
+    ("mpi_style_solver.py", ["--switches", "6", "--iters", "5"]),
+    ("diagnostics_tour.py", []),
+    ("layered_stack.py", []),
+]
+
+
+def run_example(name: str, args: list[str]) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True, text=True, timeout=600,
+    )
+
+
+class TestExamplesExist:
+    def test_at_least_three_examples(self):
+        scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+        assert len(scripts) >= 3
+        assert (EXAMPLES_DIR / "quickstart.py").exists()
+
+    def test_every_example_has_a_docstring(self):
+        for script in EXAMPLES_DIR.glob("*.py"):
+            text = script.read_text()
+            assert '"""' in text.split("\n", 3)[-1] or \
+                text.lstrip().startswith(('"""', '#!')), script.name
+
+
+@pytest.mark.parametrize("name,args", FAST, ids=[n for n, _ in FAST])
+def test_fast_example_runs(name, args):
+    result = run_example(name, args)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_RUN_ALL_EXAMPLES", "0") != "1",
+    reason="set REPRO_RUN_ALL_EXAMPLES=1 to run the long examples",
+)
+@pytest.mark.parametrize("name,args", SLOW, ids=[n for n, _ in SLOW])
+def test_slow_example_runs(name, args):
+    result = run_example(name, args)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()

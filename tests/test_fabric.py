@@ -1,0 +1,94 @@
+"""Tests for the fabric (directed channels)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.timings import Timings
+from repro.network.fabric import Fabric
+from repro.sim.engine import Simulator
+from repro.topology.generators import fig6_testbed
+from repro.topology.graph import PortKind, Topology, TopologyError
+
+
+@pytest.fixture
+def fig6_fabric():
+    topo, roles = fig6_testbed()
+    sim = Simulator()
+    return Fabric(sim, topo, Timings()), topo, roles
+
+
+class TestChannels:
+    def test_two_channels_per_cable(self, fig6_fabric):
+        fabric, topo, _ = fig6_fabric
+        assert len(fabric.channels()) == 2 * len(topo.links)
+
+    def test_out_channel_resolution(self, fig6_fabric):
+        fabric, topo, roles = fig6_fabric
+        ch = fabric.out_channel(roles["sw1"], 0)
+        assert ch.from_node == roles["sw1"]
+        assert ch.to_node == roles["sw2"]
+        back = fabric.out_channel(roles["sw2"], 0)
+        assert back.from_node == roles["sw2"]
+        assert back.to_node == roles["sw1"]
+        assert ch.key != back.key
+
+    def test_uncabled_port_rejected(self, fig6_fabric):
+        fabric, _, roles = fig6_fabric
+        with pytest.raises(TopologyError):
+            fabric.out_channel(roles["sw1"], 7)
+
+    def test_loopback_channels_distinct(self, fig6_fabric):
+        fabric, topo, roles = fig6_fabric
+        sw2 = roles["sw2"]
+        a = fabric.out_channel(sw2, 6)
+        b = fabric.out_channel(sw2, 7)
+        assert a.key != b.key
+        assert a.from_node == a.to_node == sw2
+        assert a.to_port == 7 and b.to_port == 6
+
+    def test_host_channels(self, fig6_fabric):
+        fabric, topo, roles = fig6_fabric
+        out = fabric.host_out(roles["host1"])
+        inn = fabric.host_in(roles["host1"])
+        assert out.from_node == roles["host1"]
+        assert out.to_node == roles["sw1"]
+        assert inn.from_node == roles["sw1"]
+        assert inn.to_node == roles["host1"]
+
+    def test_channel_between(self, fig6_fabric):
+        fabric, topo, roles = fig6_fabric
+        ch = fabric.channel_between(roles["sw1"], roles["sw2"])
+        assert ch.from_node == roles["sw1"]
+        with pytest.raises(TopologyError):
+            fabric.channel_between(roles["host1"], roles["host2"])
+
+
+class TestTiming:
+    def test_fall_through_by_kinds(self, fig6_fabric):
+        fabric, topo, roles = fig6_fabric
+        t = fabric.timings
+        san = fabric.out_channel(roles["sw1"], 0)   # SAN inter-switch
+        lan = fabric.out_channel(roles["sw1"], 4)   # LAN inter-switch
+        assert fabric.fall_through(san, san) == t.fall_through_ns[
+            (PortKind.SAN, PortKind.SAN)]
+        assert fabric.fall_through(san, lan) == t.fall_through_ns[
+            (PortKind.SAN, PortKind.LAN)]
+        assert fabric.fall_through(lan, lan) == t.fall_through_ns[
+            (PortKind.LAN, PortKind.LAN)]
+
+    def test_propagation_scales_with_length(self):
+        topo = Topology()
+        s1, s2 = topo.add_switch(), topo.add_switch()
+        topo.connect(s1, 0, s2, 0, length_m=10.0)
+        fabric = Fabric(Simulator(), topo, Timings())
+        ch = fabric.out_channel(s1, 0)
+        assert ch.prop_ns == pytest.approx(Timings().prop_ns_per_m * 10.0)
+
+    def test_utilization_snapshot(self, fig6_fabric):
+        fabric, _, roles = fig6_fabric
+        snap = fabric.utilization_snapshot()
+        assert all(v == 0 for v in snap.values())
+        ch = fabric.out_channel(roles["sw1"], 0)
+        ch.resource.try_acquire("x")
+        assert fabric.utilization_snapshot()[ch.key] == 1

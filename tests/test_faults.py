@@ -1,0 +1,118 @@
+"""Tests for fault injection and GM's recovery from it."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import build_network
+from repro.core.config import NetworkConfig
+from repro.core.timings import Timings
+from repro.network.faults import FaultPlan, install_fault_plan
+
+
+def build(reliable=True, **kw):
+    cfg = NetworkConfig(
+        firmware="itb", routing="updown", reliable=reliable,
+        timings=Timings().with_overrides(host_jitter_sigma_ns=0.0), **kw,
+    )
+    return build_network("fig6", config=cfg)
+
+
+class TestFaultPlan:
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(corrupt_probability=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(loss_probability=-0.1)
+
+    def test_roll_deterministic_per_seed(self):
+        a = FaultPlan(corrupt_probability=0.3, loss_probability=0.2, seed=5)
+        b = FaultPlan(corrupt_probability=0.3, loss_probability=0.2, seed=5)
+        assert [a.roll() for _ in range(50)] == [b.roll() for _ in range(50)]
+
+    def test_zero_probability_never_faults(self):
+        plan = FaultPlan()
+        assert all(plan.roll() == "ok" for _ in range(100))
+        assert plan.corrupted == 0 and plan.lost == 0
+
+    def test_counters(self):
+        plan = FaultPlan(corrupt_probability=0.5, loss_probability=0.5)
+        for _ in range(40):
+            plan.roll()
+        assert plan.corrupted + plan.lost == 40
+
+
+class TestInjection:
+    def test_corruption_dropped_and_recovered(self):
+        """Every corrupted packet is retransmitted until delivered."""
+        net = build(reliable=True)
+        plan = FaultPlan(corrupt_probability=0.4, seed=3)
+        install_fault_plan(net, plan)
+        a, b = net.gm("host1"), net.gm("host2")
+        got = []
+
+        def receiver():
+            while True:
+                msg = yield b.receive()
+                got.append(msg.tag)
+
+        net.sim.process(receiver(), name="rx")
+        n = 8
+        for i in range(n):
+            a.send(b.host, 256, tag=i)
+        net.sim.run(until=100_000_000)
+        assert sorted(got) == list(range(n))
+        assert plan.corrupted > 0
+        assert a.retransmissions >= plan.corrupted
+
+    def test_loss_recovered(self):
+        net = build(reliable=True)
+        plan = FaultPlan(loss_probability=0.3, seed=11)
+        install_fault_plan(net, plan)
+        a, b = net.gm("host1"), net.gm("host2")
+        got = []
+
+        def receiver():
+            while True:
+                msg = yield b.receive()
+                got.append(msg.tag)
+
+        net.sim.process(receiver(), name="rx")
+        for i in range(6):
+            a.send(b.host, 512, tag=i)
+        net.sim.run(until=100_000_000)
+        assert sorted(got) == list(range(6))
+        assert plan.lost > 0
+
+    def test_unreliable_traffic_just_loses(self):
+        """Without the reliability layer, faults mean silent loss."""
+        net = build(reliable=False)
+        plan = FaultPlan(loss_probability=1.0, seed=1)
+        install_fault_plan(net, plan)
+        a, b = net.gm("host1"), net.gm("host2")
+        a.send(b.host, 128)
+        net.sim.run(until=10_000_000)
+        assert b.messages_received == 0
+        assert plan.lost == 1
+
+    def test_acks_not_subject_to_faults(self):
+        """Control packets (zero-ish payload acks) pass unharmed so
+        recovery converges."""
+        net = build(reliable=True)
+        # Corrupt everything eligible; acks must still get through.
+        plan = FaultPlan(corrupt_probability=1.0, seed=2)
+        # Only wrap host1 -> host2 direction by restricting eligibility:
+        # install globally, then verify convergence is impossible for
+        # data (always corrupted) but the system keeps retrying, which
+        # proves acks (from host2's earlier deliveries) aren't faulted.
+        install_fault_plan(net, plan)
+        a = net.gm("host1")
+        a.max_retries = 2
+        a.resend_timeout_ns = 100_000.0
+        a.send(net.roles["host2"], 64)
+        from repro.gm.host import GmSendError
+        from repro.sim.engine import SimulationError
+
+        with pytest.raises((GmSendError, SimulationError)):
+            net.sim.run(until=100_000_000)
+        assert plan.corrupted >= 3  # original + retries all corrupted

@@ -1,0 +1,170 @@
+"""Firmware edge cases: boundary sizes, congestion at transit hosts,
+concurrent in-transit streams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import build_network
+from repro.core.config import NetworkConfig
+from repro.core.timings import Timings
+from repro.harness.paths import fig6_paths
+from repro.sim.engine import Timeout
+
+
+def quiet_net(**kw):
+    defaults = dict(
+        firmware="itb", routing="updown",
+        timings=Timings().with_overrides(host_jitter_sigma_ns=0.0),
+    )
+    defaults.update(kw)
+    return build_network("fig6", config=NetworkConfig(**defaults))
+
+
+def send_and_wait(net, src, dst, size, route=None, count=1):
+    """Fire `count` packets; return the TransitPackets on completion."""
+    done = net.sim.event("batch")
+    out = []
+
+    def on_final(tp):
+        out.append(tp)
+        if len(out) == count:
+            done.succeed()
+
+    for _ in range(count):
+        net.nics[net.host_id(src)].firmware.host_send(
+            dst=net.host_id(dst), payload_len=size, gm={"last": True},
+            on_delivered=on_final, route=route,
+        )
+    net.sim.run_until_event(done)
+    return out
+
+
+class TestBoundarySizes:
+    def test_zero_payload_through_itb(self):
+        net = quiet_net()
+        paths = fig6_paths(net.topo, net.roles)
+        (tp,) = send_and_wait(net, "host1", "host2", 0, route=paths.itb5)
+        assert not tp.dropped
+        assert net.nic("itb").stats.packets_forwarded == 1
+
+    def test_one_byte_through_itb(self):
+        net = quiet_net()
+        paths = fig6_paths(net.topo, net.roles)
+        (tp,) = send_and_wait(net, "host1", "host2", 1, route=paths.itb5)
+        assert not tp.dropped
+
+    def test_mtu_sized_packet_through_itb(self):
+        net = quiet_net()
+        paths = fig6_paths(net.topo, net.roles)
+        (tp,) = send_and_wait(net, "host1", "host2", 4096, route=paths.itb5)
+        assert not tp.dropped
+        assert tp.t_complete_dst is not None
+
+    def test_itb_overhead_same_for_tiny_and_huge(self):
+        """Cut-through: the per-ITB latency penalty is size-invariant."""
+        def one_way(size, route_name):
+            net = quiet_net()
+            paths = fig6_paths(net.topo, net.roles)
+            route = paths.itb5 if route_name == "itb" else paths.ud5
+            (tp,) = send_and_wait(net, "host1", "host2", size, route=route)
+            return tp.t_complete_dst - tp.t_inject
+
+        small = one_way(4, "itb") - one_way(4, "ud")
+        large = one_way(4096, "itb") - one_way(4096, "ud")
+        assert small == pytest.approx(large, abs=50.0)
+
+
+class TestTransitCongestion:
+    def test_in_transit_stream_fills_buffers_and_backpressures(self):
+        """Many in-transit packets funneled through one transit host:
+        fixed buffers force wire stalls, yet everything delivers."""
+        net = quiet_net()
+        paths = fig6_paths(net.topo, net.roles)
+        tps = send_and_wait(net, "host1", "host2", 2048,
+                            route=paths.itb5, count=8)
+        assert all(not tp.dropped for tp in tps)
+        assert net.nic("itb").stats.packets_forwarded == 8
+
+    def test_transit_host_own_traffic_interleaves(self):
+        """The transit host keeps sending its own packets while
+        forwarding: both streams complete, and at least one
+        re-injection takes the pending path."""
+        net = quiet_net()
+        paths = fig6_paths(net.topo, net.roles)
+        itb_host = net.roles["itb"]
+        h2 = net.roles["host2"]
+        own_done = {"n": 0}
+
+        def own_traffic():
+            def on_own(_tp):
+                own_done["n"] += 1
+
+            for _ in range(4):
+                net.nics[itb_host].firmware.host_send(
+                    dst=h2, payload_len=4096, gm={"last": True},
+                    on_delivered=on_own)
+                yield Timeout(5_000.0)
+
+        net.sim.process(own_traffic(), name="own")
+
+        def forwarded_traffic():
+            yield Timeout(12_000.0)
+            # launched mid-drain of the transit host's own packets
+
+        net.sim.process(forwarded_traffic(), name="gap")
+        tps = send_and_wait(net, "host1", "host2", 512,
+                            route=paths.itb5, count=4)
+        net.sim.run(until=net.sim.now + 2_000_000)
+        assert all(not tp.dropped for tp in tps)
+        assert own_done["n"] == 4
+        stats = net.nic("itb").stats
+        assert stats.itb_pending + stats.itb_immediate == 4
+
+    def test_reverse_direction_unaffected_by_forwarding(self):
+        """Forwarding occupies the transit host's send engine, not the
+        reverse channels: host2 -> host1 traffic flows concurrently."""
+        net = quiet_net()
+        paths = fig6_paths(net.topo, net.roles)
+        results = {}
+        done = net.sim.event("both")
+
+        def on_fwd(tp):
+            results["fwd"] = tp
+            if len(results) == 2:
+                done.succeed()
+
+        def on_rev(tp):
+            results["rev"] = tp
+            if len(results) == 2:
+                done.succeed()
+
+        net.nics[net.roles["host1"]].firmware.host_send(
+            dst=net.roles["host2"], payload_len=4096,
+            gm={"last": True}, on_delivered=on_fwd, route=paths.itb5)
+        net.nics[net.roles["host2"]].firmware.host_send(
+            dst=net.roles["host1"], payload_len=4096,
+            gm={"last": True}, on_delivered=on_rev, route=paths.rev2)
+        net.sim.run_until_event(done)
+        assert not results["fwd"].dropped and not results["rev"].dropped
+
+
+class TestStatsConsistency:
+    def test_forward_counts_and_bytes(self):
+        net = quiet_net()
+        paths = fig6_paths(net.topo, net.roles)
+        send_and_wait(net, "host1", "host2", 100, route=paths.itb5, count=3)
+        itb_stats = net.nic("itb").stats
+        assert itb_stats.packets_forwarded == 3
+        assert itb_stats.packets_received == 3
+        # The transit host never sourced traffic of its own.
+        assert itb_stats.packets_sent == 0
+        # Destination saw exactly the 3 deliveries.
+        assert net.nic("host2").stats.packets_received == 3
+
+    def test_itb_times_recorded_per_forward(self):
+        net = quiet_net()
+        paths = fig6_paths(net.topo, net.roles)
+        (tp,) = send_and_wait(net, "host1", "host2", 64, route=paths.itb5)
+        assert len(tp.itb_times) == 1
+        assert tp.t_inject < tp.itb_times[0] < tp.t_complete_dst

@@ -1,0 +1,132 @@
+"""Tests for the byte-level Stop&Go reference model.
+
+Besides unit-testing the mechanism, these tests *quantify* the
+packet-granularity approximation the main simulator uses: the extra
+progress a blocked packet can make is bounded by the slack size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.flow_control import (
+    StopGoChannel,
+    required_slack_bytes,
+    StopGoStats,
+)
+from repro.sim.engine import Simulator, Timeout
+
+
+BYTE_NS = 6.25
+PROP_NS = 13.0
+
+
+def make_channel(sim, **kw):
+    return StopGoChannel(sim, prop_ns=PROP_NS, byte_ns=BYTE_NS, **kw)
+
+
+class TestSlackSizing:
+    def test_covers_control_round_trip(self):
+        slack = required_slack_bytes(PROP_NS, BYTE_NS)
+        in_flight = 2 * PROP_NS / BYTE_NS
+        assert slack > in_flight
+
+    def test_grows_with_cable_length(self):
+        short = required_slack_bytes(10.0, BYTE_NS)
+        long = required_slack_bytes(100.0, BYTE_NS)
+        assert long > short
+
+    def test_threshold_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            StopGoChannel(sim, PROP_NS, BYTE_NS, slack_bytes=8,
+                          stop_threshold=9)
+        with pytest.raises(ValueError):
+            StopGoChannel(sim, PROP_NS, BYTE_NS, slack_bytes=8,
+                          stop_threshold=4, go_threshold=4)
+
+
+class TestUnblockedTransfer:
+    def test_completes_all_bytes(self):
+        sim = Simulator()
+        ch = make_channel(sim)
+        done = ch.transfer(200)
+        stats: StopGoStats = sim.run_until_event(done)
+        assert stats.bytes_sent == 200
+        assert stats.bytes_delivered == 200
+
+    def test_throughput_is_link_rate(self):
+        """Unblocked, Stop&Go adds no sustained slowdown: total time is
+        within a small constant of bytes x byte_time."""
+        sim = Simulator()
+        ch = make_channel(sim)
+        done = ch.transfer(400)
+        sim.run_until_event(done)
+        ideal = 400 * BYTE_NS
+        assert sim.now <= ideal * 1.1 + 10 * BYTE_NS
+
+    def test_never_overruns_slack(self):
+        sim = Simulator()
+        ch = make_channel(sim)
+        done = ch.transfer(500)
+        stats = sim.run_until_event(done)
+        assert stats.max_slack_occupancy <= ch.slack_bytes
+
+
+class TestBlockedReceiver:
+    def run_with_block(self, block_at_ns, unblock_at_ns, n_bytes=300):
+        sim = Simulator()
+        ch = make_channel(sim)
+        sim.schedule(block_at_ns, ch.block_receiver)
+        sim.schedule(unblock_at_ns, ch.unblock_receiver)
+        done = ch.transfer(n_bytes)
+        stats = sim.run_until_event(done)
+        return sim, ch, stats
+
+    def test_sender_stops_within_slack(self):
+        """After the receiver blocks, the sender transmits at most the
+        slack's worth of further bytes — the bound on the
+        packet-granularity approximation."""
+        sim, ch, stats = self.run_with_block(200.0, 5_000.0)
+        assert stats.stops_sent >= 1
+        assert stats.sender_stalled_ns > 0
+        assert stats.max_slack_occupancy <= ch.slack_bytes
+
+    def test_no_bytes_lost_across_stall(self):
+        sim, ch, stats = self.run_with_block(150.0, 3_000.0, n_bytes=250)
+        assert stats.bytes_delivered == 250
+
+    def test_go_resumes_transmission(self):
+        sim, ch, stats = self.run_with_block(150.0, 3_000.0)
+        assert stats.gos_sent >= 1
+        # Completion happens after the unblock instant.
+        assert sim.now > 3_000.0
+
+    def test_stall_duration_reflects_block(self):
+        """A longer receiver stall stalls the sender proportionally."""
+        _s1, _c1, short = self.run_with_block(150.0, 2_000.0)
+        _s2, _c2, long = self.run_with_block(150.0, 8_000.0)
+        assert long.sender_stalled_ns > short.sender_stalled_ns
+
+
+class TestApproximationBound:
+    def test_blocked_progress_bounded_by_slack(self):
+        """The headline validation: versus the main simulator's
+        "blocked packet makes zero progress" assumption, the byte-level
+        model lets at most ``slack_bytes`` extra bytes through —
+        negligible against any real packet."""
+        sim = Simulator()
+        ch = make_channel(sim)
+        ch.block_receiver()  # blocked from the start
+        ch.transfer(1000)
+        sim.run(until=100_000.0)
+        # Sender pushed at most the slack (plus control-symbol flight).
+        assert ch.stats.bytes_sent <= ch.slack_bytes + 4
+        assert ch.stats.bytes_delivered == 0
+
+    def test_one_transfer_at_a_time(self):
+        sim = Simulator()
+        ch = make_channel(sim)
+        ch.transfer(10)
+        with pytest.raises(RuntimeError):
+            ch.transfer(10)

@@ -1,0 +1,139 @@
+"""Tests for topology generators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.generators import (
+    fig1_topology,
+    fig6_testbed,
+    linear_switches,
+    mesh_2d,
+    random_irregular,
+)
+from repro.topology.graph import PortKind, TopologyError
+
+
+class TestFig6:
+    def test_roles_complete(self):
+        topo, roles = fig6_testbed()
+        assert set(roles) == {"sw1", "sw2", "host1", "host2", "itb"}
+        assert topo.is_switch(roles["sw1"])
+        assert topo.is_host(roles["host1"])
+
+    def test_cabling_matches_paper(self):
+        topo, roles = fig6_testbed()
+        sw1, sw2 = roles["sw1"], roles["sw2"]
+        inter = [l for l in topo.links_between(sw1, sw2)]
+        assert len(inter) == 3
+        kinds = sorted(l.kind.value for l in inter)
+        assert kinds == ["lan", "san", "san"]
+        loops = topo.links_between(sw2, sw2)
+        assert len(loops) == 1 and loops[0].kind is PortKind.LAN
+
+    def test_host_attachment(self):
+        topo, roles = fig6_testbed()
+        assert topo.switch_of(roles["host1"]) == roles["sw1"]
+        assert topo.switch_of(roles["itb"]) == roles["sw2"]
+        assert topo.switch_of(roles["host2"]) == roles["sw2"]
+        # NIC kinds: host1/itb are M2L (LAN), host2 is M2M (SAN).
+        assert topo.host_link(roles["host1"]).kind is PortKind.LAN
+        assert topo.host_link(roles["itb"]).kind is PortKind.LAN
+        assert topo.host_link(roles["host2"]).kind is PortKind.SAN
+
+
+class TestFig1:
+    def test_shortcut_exists(self):
+        topo, roles = fig1_topology()
+        # The 4-6 and 6-1 cables that create the forbidden shortcut.
+        assert topo.links_between(roles["sw4"], roles["sw6"])
+        assert topo.links_between(roles["sw1"], roles["sw6"])
+        # Switch 6 carries a host (the in-transit candidate).
+        assert topo.hosts_on(roles["sw6"])
+
+    def test_every_switch_has_a_host(self):
+        topo, roles = fig1_topology()
+        for s in topo.switches():
+            assert topo.hosts_on(s), f"switch {s} hostless"
+
+
+class TestRegular:
+    def test_linear_chain(self):
+        topo = linear_switches(4, hosts_per_switch=2)
+        assert len(topo.switches()) == 4
+        assert len(topo.hosts()) == 8
+        topo.validate()
+
+    def test_linear_needs_one_switch(self):
+        with pytest.raises(TopologyError):
+            linear_switches(0)
+
+    def test_mesh_shape(self):
+        topo = mesh_2d(3, 4)
+        assert len(topo.switches()) == 12
+        # edges: 3*3 horizontal rows... rows*(cols-1) + (rows-1)*cols
+        fabric_links = [
+            l for l in topo.links
+            if topo.is_switch(l.node_a) and topo.is_switch(l.node_b)
+        ]
+        assert len(fabric_links) == 3 * 3 + 2 * 4
+
+    def test_mesh_validates(self):
+        mesh_2d(2, 2, hosts_per_switch=3).validate()
+
+
+class TestRandomIrregular:
+    def test_deterministic_for_seed(self):
+        a = random_irregular(10, seed=3)
+        b = random_irregular(10, seed=3)
+        assert [l.endpoints() for l in a.links] == [
+            l.endpoints() for l in b.links
+        ]
+
+    def test_different_seeds_differ(self):
+        a = random_irregular(10, seed=3)
+        b = random_irregular(10, seed=4)
+        assert [l.endpoints() for l in a.links] != [
+            l.endpoints() for l in b.links
+        ]
+
+    def test_parameter_validation(self):
+        with pytest.raises(TopologyError):
+            random_irregular(1, seed=0)
+        with pytest.raises(TopologyError):
+            random_irregular(8, seed=0, switch_links=0)
+        with pytest.raises(TopologyError):
+            random_irregular(8, seed=0, switch_links=8, ports_per_switch=8)
+        with pytest.raises(TopologyError):
+            random_irregular(8, seed=0, hosts_per_switch=7, switch_links=4,
+                             ports_per_switch=8)
+
+    @given(n=st.integers(min_value=2, max_value=24),
+           seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_always_valid_and_connected(self, n, seed):
+        topo = random_irregular(n, seed=seed)
+        topo.validate()  # raises on disconnection
+        assert len(topo.switches()) == n
+        assert len(topo.hosts()) == n
+
+    @given(n=st.integers(min_value=4, max_value=16),
+           seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_port_budget_respected(self, n, seed):
+        topo = random_irregular(n, seed=seed, switch_links=4,
+                                ports_per_switch=8)
+        for s in topo.switches():
+            fabric = len(topo.switch_neighbors(s))
+            assert fabric <= 4
+
+    def test_no_parallel_fabric_cables(self):
+        topo = random_irregular(12, seed=9)
+        seen = set()
+        for l in topo.links:
+            if topo.is_switch(l.node_a) and topo.is_switch(l.node_b):
+                key = frozenset((l.node_a, l.node_b))
+                assert key not in seen
+                seen.add(key)

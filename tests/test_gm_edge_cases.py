@@ -1,0 +1,152 @@
+"""GM layer edge cases: segmentation boundaries, interleaving,
+retransmission scope, multi-connection interactions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import build_network
+from repro.core.config import NetworkConfig
+from repro.core.timings import Timings
+from repro.gm.host import GM_MTU
+
+
+def build(reliable=True, **kw):
+    cfg = NetworkConfig(
+        firmware="itb", routing="itb", reliable=reliable,
+        timings=Timings().with_overrides(host_jitter_sigma_ns=0.0), **kw,
+    )
+    return build_network("fig6", config=cfg)
+
+
+class TestSegmentationBoundaries:
+    @pytest.mark.parametrize("size,packets", [
+        (GM_MTU - 1, 1),
+        (GM_MTU, 1),
+        (GM_MTU + 1, 2),
+        (2 * GM_MTU, 2),
+        (2 * GM_MTU + 1, 3),
+    ])
+    def test_packet_counts(self, size, packets):
+        net = build(reliable=False)
+        a, b = net.gm("host1"), net.gm("host2")
+        a.send(b.host, size)
+        net.sim.run(until=10_000_000)
+        assert net.nic("host1").stats.packets_sent == packets
+
+    def test_large_message_delivered_with_correct_length(self):
+        net = build()
+        a, b = net.gm("host1"), net.gm("host2")
+        size = 3 * GM_MTU + 17
+        got = []
+
+        def rx():
+            msg = yield b.receive()
+            got.append(msg)
+
+        net.sim.process(rx(), name="rx")
+        a.send(b.host, size)
+        net.sim.run(until=20_000_000)
+        assert got and got[0].length == size
+
+
+class TestInterleaving:
+    def test_messages_from_two_senders_to_one_receiver(self):
+        net = build()
+        a, c = net.gm("host1"), net.gm("itb")
+        b = net.gm("host2")
+        got = []
+
+        def rx():
+            while True:
+                msg = yield b.receive()
+                got.append((msg.src, msg.tag))
+
+        net.sim.process(rx(), name="rx")
+        for i in range(3):
+            a.send(b.host, 64, tag=i)
+            c.send(b.host, 64, tag=100 + i)
+        net.sim.run(until=20_000_000)
+        # Per-sender order preserved; global interleaving arbitrary.
+        from_a = [t for s, t in got if s == a.host]
+        from_c = [t for s, t in got if s == c.host]
+        assert from_a == [0, 1, 2]
+        assert from_c == [100, 101, 102]
+
+    def test_sequence_spaces_are_per_connection(self):
+        """Host1's seqs toward host2 are independent of its seqs
+        toward the transit host."""
+        net = build()
+        a = net.gm("host1")
+        a.send(net.roles["host2"], 10)
+        a.send(net.roles["itb"], 10)
+        a.send(net.roles["host2"], 10)
+        net.sim.run(until=20_000_000)
+        assert a._connections[net.roles["host2"]].next_seq == 2
+        assert a._connections[net.roles["itb"]].next_seq == 1
+
+
+class TestRetransmissionScope:
+    def test_only_lost_packet_retransmitted(self):
+        """A single mid-stream loss triggers go-back-N resends for the
+        lost packet onward, never for already-acked prefixes."""
+        from repro.network.faults import FaultPlan, install_fault_plan
+
+        net = build()
+        # Exactly one loss: probability tuned against the known RNG
+        # stream is brittle, so instead drop deterministically by
+        # wrapping: lose only the 3rd eligible packet.
+        plan = FaultPlan(loss_probability=0.0)
+        count = {"n": 0}
+        original_roll = plan.roll
+
+        def roll_third():
+            count["n"] += 1
+            if count["n"] == 3:
+                plan.lost += 1
+                return "lost"
+            return original_roll()
+
+        plan.roll = roll_third  # type: ignore[method-assign]
+        install_fault_plan(net, plan)
+        a, b = net.gm("host1"), net.gm("host2")
+        got = []
+
+        def rx():
+            while True:
+                msg = yield b.receive()
+                got.append(msg.tag)
+
+        net.sim.process(rx(), name="rx")
+        for i in range(5):
+            a.send(b.host, 64, tag=i)
+        net.sim.run(until=50_000_000)
+        assert got == [0, 1, 2, 3, 4]
+        assert plan.lost == 1
+        # Go-back-N: the loss of packet 3 (seq 2) may force resends of
+        # it and its successors, but never more than the tail.
+        assert 1 <= a.retransmissions <= 3
+
+
+class TestAckBehaviour:
+    def test_acks_are_small_and_counted(self):
+        net = build()
+        a, b = net.gm("host1"), net.gm("host2")
+
+        def rx():
+            yield b.receive()
+
+        net.sim.process(rx(), name="rx")
+        a.send(b.host, 1000)
+        net.sim.run(until=10_000_000)
+        # Data: 1 packet a->b.  Ack: 1 packet b->a.
+        assert net.nic("host1").stats.packets_sent == 1
+        assert net.nic("host2").stats.packets_sent == 1
+        assert net.nic("host2").stats.bytes_sent < 100  # tiny control pkt
+
+    def test_no_acks_when_unreliable(self):
+        net = build(reliable=False)
+        a, b = net.gm("host1"), net.gm("host2")
+        a.send(b.host, 1000)
+        net.sim.run(until=10_000_000)
+        assert net.nic("host2").stats.packets_sent == 0

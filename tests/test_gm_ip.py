@@ -1,0 +1,172 @@
+"""Tests for IP-over-GM encapsulation (fragmentation, reassembly,
+best-effort contract, TTL over ITB hops)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import build_network
+from repro.core.config import NetworkConfig
+from repro.core.timings import Timings
+from repro.gm.ip import FRAGMENT_PAYLOAD, IpEndpoint
+from repro.harness.paths import fig6_paths
+
+
+def build(routing="updown", **kw):
+    cfg = NetworkConfig(
+        firmware="itb", routing=routing, reliable=False,
+        timings=Timings().with_overrides(host_jitter_sigma_ns=0.0), **kw,
+    )
+    return build_network("fig6", config=cfg)
+
+
+def endpoints(net):
+    a = IpEndpoint(net.gm("host1"))
+    b = IpEndpoint(net.gm("host2"))
+    got = []
+    b.on_datagram(got.append)
+    return a, b, got
+
+
+class TestSingleFragment:
+    def test_small_datagram_one_fragment(self):
+        net = build()
+        a, b, got = endpoints(net)
+        a.send(net.roles["host2"], 512)
+        net.sim.run(until=5_000_000)
+        assert len(got) == 1
+        assert got[0].length == 512
+        assert a.stats.fragments_sent == 1
+        assert b.stats.datagrams_delivered == 1
+
+    def test_zero_length_datagram(self):
+        net = build()
+        a, b, got = endpoints(net)
+        a.send(net.roles["host2"], 0)
+        net.sim.run(until=5_000_000)
+        assert len(got) == 1 and got[0].length == 0
+
+    def test_negative_length_rejected(self):
+        net = build()
+        a, _b, _got = endpoints(net)
+        with pytest.raises(ValueError):
+            a.send(net.roles["host2"], -1)
+
+    def test_gm_traffic_unaffected(self):
+        """Non-IP GM messages still reach the GM receive path."""
+        net = build()
+        _a, _b, _got = endpoints(net)
+        gm_got = []
+
+        def rx():
+            msg = yield net.gm("host2").receive()
+            gm_got.append(msg)
+
+        net.sim.process(rx(), name="rx")
+        net.gm("host1").send(net.roles["host2"], 128)
+        net.sim.run(until=5_000_000)
+        assert len(gm_got) == 1
+
+
+class TestFragmentation:
+    def test_large_datagram_fragment_count(self):
+        net = build()
+        a, b, got = endpoints(net)
+        size = 3 * FRAGMENT_PAYLOAD - 100
+        a.send(net.roles["host2"], size)
+        net.sim.run(until=20_000_000)
+        assert len(got) == 1 and got[0].length == size
+        assert a.stats.fragments_sent == 3
+        assert b.stats.fragments_received == 3
+
+    def test_exact_fragment_boundary(self):
+        net = build()
+        a, b, got = endpoints(net)
+        a.send(net.roles["host2"], FRAGMENT_PAYLOAD)
+        net.sim.run(until=10_000_000)
+        assert len(got) == 1
+        assert a.stats.fragments_sent == 1
+
+    def test_interleaved_datagrams_reassemble_independently(self):
+        net = build()
+        a, b, got = endpoints(net)
+        a.send(net.roles["host2"], 2 * FRAGMENT_PAYLOAD)
+        a.send(net.roles["host2"], 3 * FRAGMENT_PAYLOAD)
+        net.sim.run(until=50_000_000)
+        assert sorted(d.length for d in got) == \
+            [2 * FRAGMENT_PAYLOAD, 3 * FRAGMENT_PAYLOAD]
+        assert b.partial_reassemblies == 0
+
+
+class TestBestEffort:
+    def test_lost_fragment_loses_the_datagram(self):
+        """IP's contract: no retransmission — a lost fragment expires
+        the whole reassembly."""
+        from repro.network.faults import FaultPlan, install_fault_plan
+
+        net = build()
+        a, b, got = endpoints(net)
+        b.reassembly_timeout_ns = 1_000_000.0
+        plan = FaultPlan(loss_probability=0.0, seed=1)
+        count = {"n": 0}
+
+        def lose_second():
+            count["n"] += 1
+            if count["n"] == 2:
+                plan.lost += 1
+                return "lost"
+            return "ok"
+
+        plan.roll = lose_second  # type: ignore[method-assign]
+        install_fault_plan(net, plan)
+        a.send(net.roles["host2"], 3 * FRAGMENT_PAYLOAD)
+        net.sim.run(until=50_000_000)
+        assert got == []
+        assert b.stats.reassembly_timeouts == 1
+        assert b.partial_reassemblies == 0
+
+    def test_unaffected_datagram_still_delivers(self):
+        from repro.network.faults import FaultPlan, install_fault_plan
+
+        net = build()
+        a, b, got = endpoints(net)
+        b.reassembly_timeout_ns = 1_000_000.0
+        plan = FaultPlan(loss_probability=0.0, seed=1)
+        count = {"n": 0}
+
+        def lose_first():
+            count["n"] += 1
+            return "lost" if count["n"] == 1 else "ok"
+
+        plan.roll = lose_first  # type: ignore[method-assign]
+        install_fault_plan(net, plan)
+        a.send(net.roles["host2"], 100)       # fragment lost
+        a.send(net.roles["host2"], 200)       # delivers
+        net.sim.run(until=50_000_000)
+        assert [d.length for d in got] == [200]
+
+
+class TestTtl:
+    def test_itb_hop_decrements_ttl(self):
+        net = build()
+        paths = fig6_paths(net.topo, net.roles)
+        # Stamp the ITB route for host1 -> host2 so IP fragments take
+        # an in-transit hop.
+        h1, h2 = net.roles["host1"], net.roles["host2"]
+        net.nics[h1].route_table.install(h2, paths.itb5)
+        a, b, got = endpoints(net)
+        a.send(h2, 256, ttl=5)
+        net.sim.run(until=10_000_000)
+        assert len(got) == 1
+        assert got[0].ttl == 4  # one ITB store-and-forward
+
+    def test_ttl_exhaustion_drops(self):
+        net = build()
+        paths = fig6_paths(net.topo, net.roles)
+        h1, h2 = net.roles["host1"], net.roles["host2"]
+        net.nics[h1].route_table.install(h2, paths.itb5)
+        a, b, got = endpoints(net)
+        a.send(h2, 256, ttl=1)  # the single ITB hop exhausts it
+        net.sim.run(until=10_000_000)
+        assert got == []
+        assert b.stats.ttl_drops == 1

@@ -1,0 +1,86 @@
+"""Golden-value regression tests.
+
+The simulation is deterministic with host noise disabled, so the
+headline latencies are exact numbers.  Pinning them here turns any
+accidental change to the timing model, the worm pipeline, or the
+firmware control flow into a loud, precise failure — the band checks
+in the harness tests would only catch large drifts.
+
+If a change is *intentional* (recalibration, new model feature on the
+default path), update these constants and record the reason in the
+commit alongside an EXPERIMENTS.md refresh.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import build_network
+from repro.core.config import NetworkConfig
+from repro.core.timings import Timings
+from repro.harness.paths import fig6_paths
+
+# Exact half-round-trip means (ns), 3 iterations, zero host noise.
+GOLDEN = {
+    "ud5_halfrtt_16": 9300.75,
+    "itb5_halfrtt_16": 9977.275,
+    "ud5_halfrtt_512": 14384.75,
+    "itb5_halfrtt_512": 15061.275,
+    "ud5_halfrtt_4096": 51120.75,
+    "itb5_halfrtt_4096": 51797.275,
+    "orig_fig7_halfrtt_64": 9456.65,
+}
+
+
+def quiet_config(firmware="itb"):
+    return NetworkConfig(
+        firmware=firmware, routing="updown",
+        timings=Timings().with_overrides(host_jitter_sigma_ns=0.0),
+    )
+
+
+def half_rtt(firmware: str, route_name: str, size: int) -> float:
+    net = build_network("fig6", config=quiet_config(firmware))
+    paths = fig6_paths(net.topo, net.roles)
+    route_ab = {
+        "ud5": paths.ud5,
+        "itb5": paths.itb5,
+        "fig7": paths.fig7_fwd,
+    }[route_name]
+    result = net.ping_pong("host1", "host2", size=size, iterations=3,
+                           route_ab=route_ab, route_ba=paths.rev2)
+    return result.mean_ns
+
+
+class TestGoldenLatencies:
+    @pytest.mark.parametrize("size", [16, 512, 4096])
+    def test_ud5_path(self, size):
+        assert half_rtt("itb", "ud5", size) == pytest.approx(
+            GOLDEN[f"ud5_halfrtt_{size}"], abs=0.01)
+
+    @pytest.mark.parametrize("size", [16, 512, 4096])
+    def test_itb5_path(self, size):
+        assert half_rtt("itb", "itb5", size) == pytest.approx(
+            GOLDEN[f"itb5_halfrtt_{size}"], abs=0.01)
+
+    def test_original_firmware_fig7_path(self):
+        assert half_rtt("original", "fig7", 64) == pytest.approx(
+            GOLDEN["orig_fig7_halfrtt_64"], abs=0.01)
+
+
+class TestGoldenDerivedDeltas:
+    def test_per_itb_overhead_exact(self):
+        """The golden series encode the 1.353 us per-ITB overhead."""
+        for size in (16, 512, 4096):
+            delta = 2 * (GOLDEN[f"itb5_halfrtt_{size}"]
+                         - GOLDEN[f"ud5_halfrtt_{size}"])
+            assert delta == pytest.approx(1353.05, abs=0.1)
+
+    def test_wire_time_dominates_growth(self):
+        """Between 512 B and 4096 B, latency grows by the extra wire +
+        PCI time of 3584 bytes (per direction, both already in the
+        half-RTT mean)."""
+        t = Timings()
+        growth = GOLDEN["ud5_halfrtt_4096"] - GOLDEN["ud5_halfrtt_512"]
+        expected = 3584 * (t.link_byte_ns + 2 * t.pci_byte_ns)
+        assert growth == pytest.approx(expected, rel=0.01)

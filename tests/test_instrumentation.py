@@ -1,0 +1,81 @@
+"""Tests for channel-usage instrumentation and the measured-balance
+experiment it enables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.throughput import build_load_network
+from repro.harness.workloads import drive_traffic
+from repro.network.instrumentation import attach_usage_meter
+from repro.topology.generators import random_irregular
+
+
+def run_with_meter(routing: str, rate=0.04, n_switches=8, seed=5):
+    topo = random_irregular(n_switches, seed=seed, hosts_per_switch=2)
+    net = build_load_network(topo, routing)
+    usage = attach_usage_meter(net)
+    drive_traffic(net, rate_bytes_per_ns_per_host=rate, packet_size=512,
+                  duration_ns=120_000, warmup_ns=20_000)
+    return net, usage
+
+
+class TestMeterMechanics:
+    def test_only_fabric_channels_metered(self):
+        net, usage = run_with_meter("updown", rate=0.01)
+        topo = net.topo
+        for cu in usage.channels.values():
+            assert topo.is_switch(cu.from_node)
+            assert topo.is_switch(cu.to_node)
+
+    def test_busy_time_accumulates(self):
+        _net, usage = run_with_meter("updown")
+        assert usage.loads().sum() > 0
+        assert usage.packet_counts().sum() > 0
+
+    def test_busy_time_bounded_by_observation(self):
+        _net, usage = run_with_meter("updown")
+        # A channel cannot be busy longer than the observed window
+        # (plus in-flight packets at the cut; allow slack for those).
+        assert usage.max_utilization() < 1.2
+
+    def test_fairness_index_in_range(self):
+        _net, usage = run_with_meter("updown")
+        assert 0.0 < usage.jain_fairness() <= 1.0
+
+    def test_empty_meter_degenerate_values(self):
+        topo = random_irregular(4, seed=1)
+        net = build_load_network(topo, "updown")
+        usage = attach_usage_meter(net)
+        assert usage.jain_fairness() == 1.0
+        assert usage.max_utilization() == 0.0
+        assert usage.root_concentration() == 0.0
+
+
+class TestMeasuredBalance:
+    """The paper's traffic-balance argument, observed dynamically."""
+
+    @pytest.fixture(scope="class")
+    def measured(self):
+        out = {}
+        for routing in ("updown", "itb"):
+            _net, usage = run_with_meter(routing, rate=0.05,
+                                         n_switches=12, seed=7)
+            out[routing] = usage
+        return out
+
+    def test_itb_spreads_load(self, measured):
+        """ITB routing's busy-time distribution is at least as even as
+        up*/down*'s (higher Jain index)."""
+        assert measured["itb"].jain_fairness() >= \
+            measured["updown"].jain_fairness() * 0.98
+
+    def test_itb_relieves_root_channels(self, measured):
+        """The share of fabric busy-time carried next to the root
+        shrinks under ITB routing."""
+        assert measured["itb"].root_concentration() <= \
+            measured["updown"].root_concentration() + 0.02
+
+    def test_hottest_channel_cooler_under_itb(self, measured):
+        assert measured["itb"].max_utilization() <= \
+            measured["updown"].max_utilization() * 1.05

@@ -1,0 +1,89 @@
+"""EXP-A6: in-transit host selection policy under load.
+
+The ITB router must pick a host at every violation switch.  With
+multiple hosts per switch, the ``first_host`` policy funnels every
+in-transit packet of a switch through one NIC, while ``round_robin``
+spreads the ejection/re-injection work across them.  Under load the
+spread relieves the transit NIC's send engine — the simplest of the
+load-aware placements the paper's follow-up work motivates.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.builder import build_network
+from repro.core.config import NetworkConfig
+from repro.core.timings import Timings
+from repro.gm.mapper import run_mapper
+from repro.harness.workloads import drive_traffic
+from repro.routing.itb import ItbRouter, first_host_policy, round_robin_policy
+from repro.routing.spanning_tree import build_orientation
+from repro.routing.tables import build_route_tables
+from repro.topology.generators import random_irregular
+
+
+def build_with_policy(policy_factory, n_switches=10, seed=9,
+                      hosts_per_switch=3):
+    """Network whose ITB routes were computed with a specific policy."""
+    topo = random_irregular(n_switches, seed=seed,
+                            hosts_per_switch=hosts_per_switch)
+    cfg = NetworkConfig(
+        firmware="itb", routing="updown",  # tables replaced below
+        timings=Timings().with_overrides(host_jitter_sigma_ns=0.0),
+        recv_buffer_kind="pool", pool_bytes=1024 * 1024, reliable=False,
+    )
+    net = build_network(topo, config=cfg)
+    orientation = build_orientation(topo)
+    router = ItbRouter(topo, orientation, host_policy=policy_factory())
+    tables = build_route_tables(sorted(net.gm_hosts), router)
+    for host, table in tables.items():
+        net.nics[host].route_table = table
+    return net, router
+
+
+class TestPolicySpread:
+    def test_round_robin_distributes_transit_duty(self):
+        """Across all pairs, round-robin uses strictly more distinct
+        in-transit hosts than first-host (when any switch with >1 host
+        serves ITBs)."""
+        distinct = {}
+        for name, factory in (("first", lambda: first_host_policy),
+                              ("rr", round_robin_policy)):
+            _net, router = build_with_policy(factory)
+            hosts_used = set()
+            all_hosts = sorted(router.topo.hosts())
+            for s, d in itertools.permutations(all_hosts, 2):
+                hosts_used.update(router.itb_route(s, d).itb_hosts)
+            distinct[name] = len(hosts_used)
+        if distinct["first"] == 0:
+            pytest.skip("topology needed no ITBs")
+        assert distinct["rr"] >= distinct["first"]
+
+    def test_route_lengths_identical_across_policies(self):
+        """Policy affects WHICH host, never the path shape."""
+        _n1, r_first = build_with_policy(lambda: first_host_policy)
+        _n2, r_rr = build_with_policy(round_robin_policy)
+        hosts = sorted(r_first.topo.hosts())
+        for s, d in itertools.permutations(hosts[:6], 2):
+            a = r_first.itb_route(s, d)
+            b = r_rr.itb_route(s, d)
+            assert a.n_switches == b.n_switches
+            assert a.n_itbs == b.n_itbs
+
+
+class TestPolicyUnderLoad:
+    def test_round_robin_at_least_matches_first_host(self):
+        """Accepted throughput with round-robin placement is not worse
+        than funneling all transit duty through one NIC per switch."""
+        accepted = {}
+        for name, factory in (("first", lambda: first_host_policy),
+                              ("rr", round_robin_policy)):
+            net, _router = build_with_policy(factory)
+            stats = drive_traffic(net, rate_bytes_per_ns_per_host=0.05,
+                                  packet_size=512, duration_ns=120_000,
+                                  warmup_ns=20_000)
+            accepted[name] = stats.accepted_bytes_per_ns_per_host
+        assert accepted["rr"] >= accepted["first"] * 0.97

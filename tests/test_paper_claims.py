@@ -1,0 +1,83 @@
+"""Cross-checks: the timing model's constants vs the paper's claims."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.timings import Timings
+from repro.harness.paper_claims import CLAIMS, Claim, claim
+
+
+class TestRegistry:
+    def test_lookup(self):
+        c = claim("f7.mean_overhead_ns")
+        assert c.value == 125.0
+        with pytest.raises(KeyError, match="known"):
+            claim("nonsense")
+
+    def test_bands_contain_nominal(self):
+        for c in CLAIMS.values():
+            assert c.low <= c.value <= c.high, c.key
+
+    def test_holds(self):
+        c = Claim("k", "s", "src", 10.0, 5.0, 15.0, "ns")
+        assert c.holds(10.0) and c.holds(5.0) and c.holds(15.0)
+        assert not c.holds(4.9) and not c.holds(15.1)
+
+    def test_describe(self):
+        c = claim("f8.overhead_ns")
+        assert "1300" in c.describe()
+        assert "OK" in c.describe(1350.0)
+        assert "VIOLATED" in c.describe(9999.0)
+
+    def test_sources_cite_the_paper(self):
+        for c in CLAIMS.values():
+            assert "Section" in c.source, c.key
+
+
+class TestTimingModelConsistency:
+    """The calibrated constants must land inside the paper's bands —
+    these tests catch calibration drift at unit-test speed (the full
+    end-to-end checks live in the harness tests and benchmarks)."""
+
+    def test_itb_check_cost(self):
+        assert claim("f7.mean_overhead_ns").holds(Timings().itb_check_ns)
+
+    def test_itb_forward_cost(self):
+        # The firmware part alone must already sit inside the band
+        # (wire effects only add a few tens of ns).
+        assert claim("f8.overhead_ns").holds(Timings().itb_forward_ns + 50)
+
+    def test_early_recv_bytes(self):
+        assert claim("method.early_recv_bytes").holds(
+            Timings().early_recv_bytes)
+
+    def test_buffer_count(self):
+        assert claim("method.mcp_buffers").holds(Timings().mcp_buffers)
+
+    def test_prior_estimate_reachable_by_ablation(self):
+        """The [2,3] regime (275 + 200 ns) must fall in its band."""
+        t = Timings().with_overrides(itb_early_recv_cycles=18,
+                                     itb_program_dma_cycles=13)
+        assert claim("f8.prior_estimate_ns").holds(t.itb_forward_ns + 50)
+
+
+class TestPathConstants:
+    def test_fig8_paths_cross_five_switches(self):
+        from repro.harness.paths import fig6_paths
+        from repro.topology.generators import fig6_testbed
+
+        topo, roles = fig6_testbed()
+        paths = fig6_paths(topo, roles)
+        c = claim("method.fig8_switch_crossings")
+        assert c.holds(paths.ud5.n_switches)
+        assert c.holds(paths.itb5.n_switches)
+
+    def test_fig7_average_crossings(self):
+        from repro.harness.paths import fig6_paths
+        from repro.topology.generators import fig6_testbed
+
+        topo, roles = fig6_testbed()
+        paths = fig6_paths(topo, roles)
+        avg = (paths.fig7_fwd.n_switches + paths.rev2.n_switches) / 2
+        assert claim("method.fig7_avg_crossings").holds(avg)

@@ -1,0 +1,93 @@
+"""Tests for result persistence (JSON round-trips)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.timings import Timings
+from repro.harness.fig7 import run_fig7
+from repro.harness.fig8 import run_fig8
+from repro.harness.persist import load_results, save_results
+from repro.harness.throughput import run_throughput
+
+
+@pytest.fixture(scope="module")
+def small_results():
+    t = Timings().with_overrides(host_jitter_sigma_ns=0.0)
+    return {
+        "fig7": run_fig7(sizes=(16, 1024), iterations=3, timings=t),
+        "fig8": run_fig8(sizes=(16, 1024), iterations=3, timings=t),
+        "m1": run_throughput(n_switches=4, packet_size=256,
+                             rates=(0.02,), duration_ns=40_000,
+                             warmup_ns=5_000, hosts_per_switch=1),
+    }
+
+
+class TestRoundTrip:
+    def test_fig7_round_trip(self, small_results, tmp_path):
+        path = save_results(tmp_path / "r.json",
+                            {"fig7": small_results["fig7"]})
+        loaded = load_results(path)["fig7"]
+        original = small_results["fig7"]
+        assert loaded.iterations == original.iterations
+        assert [(r.size, r.original_ns, r.modified_ns)
+                for r in loaded.rows] == \
+            [(r.size, r.original_ns, r.modified_ns) for r in original.rows]
+        # Derived quantities survive the trip.
+        assert loaded.mean_overhead_ns == pytest.approx(
+            original.mean_overhead_ns)
+
+    def test_fig8_round_trip(self, small_results, tmp_path):
+        path = save_results(tmp_path / "r.json",
+                            {"fig8": small_results["fig8"]})
+        loaded = load_results(path)["fig8"]
+        assert loaded.mean_overhead_ns == pytest.approx(
+            small_results["fig8"].mean_overhead_ns)
+
+    def test_throughput_summary(self, small_results, tmp_path):
+        path = save_results(tmp_path / "r.json",
+                            {"m1": small_results["m1"]})
+        loaded = load_results(path)["m1"]
+        assert loaded["kind"] == "throughput"
+        assert loaded["n_switches"] == 4
+        assert len(loaded["points"]) == 2  # 1 rate x 2 routings
+
+    def test_multiple_results_and_extra(self, small_results, tmp_path):
+        path = save_results(
+            tmp_path / "all.json",
+            {"fig7": small_results["fig7"], "fig8": small_results["fig8"]},
+            extra={"note": "quick run", "seed": 2001},
+        )
+        loaded = load_results(path)
+        assert set(loaded) == {"fig7", "fig8", "extra"}
+        assert loaded["extra"]["note"] == "quick run"
+
+    def test_file_is_plain_json(self, small_results, tmp_path):
+        path = save_results(tmp_path / "r.json",
+                            {"fig7": small_results["fig7"]})
+        blob = json.loads(path.read_text())
+        assert blob["format_version"] == 1
+        assert "fig7" in blob["results"]
+
+
+class TestValidation:
+    def test_unsupported_type_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_results(tmp_path / "r.json", {"bad": object()})
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"format_version": 99, "results": {}}))
+        with pytest.raises(ValueError):
+            load_results(path)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "odd.json"
+        path.write_text(json.dumps({
+            "format_version": 1,
+            "results": {"x": {"kind": "martian"}},
+        }))
+        with pytest.raises(ValueError):
+            load_results(path)

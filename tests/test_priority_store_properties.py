@@ -1,0 +1,76 @@
+"""Property-based tests for PriorityStore (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator, Timeout
+from repro.sim.resources import PriorityStore
+
+
+@given(items=st.lists(
+    st.tuples(st.integers(min_value=0, max_value=10),  # priority
+              st.integers()),                          # payload
+    min_size=1, max_size=60))
+@settings(max_examples=60)
+def test_drain_order_is_stable_priority_order(items):
+    """Draining a pre-filled store yields (priority, insertion-index)
+    lexicographic order: strictly by priority, FIFO within ties."""
+    sim = Simulator()
+    store = PriorityStore(sim)
+    for i, (prio, payload) in enumerate(items):
+        store.put((i, payload), priority=prio)
+    drained = []
+    while len(store):
+        ok, item = store.try_get()
+        assert ok
+        drained.append(item)
+    expected = [
+        (i, payload)
+        for (prio, i, payload) in sorted(
+            (prio, i, payload) for i, (prio, payload) in enumerate(items)
+        )
+    ]
+    assert drained == expected
+
+
+@given(
+    puts=st.lists(
+        st.tuples(st.floats(min_value=0.0, max_value=100.0,
+                            allow_nan=False),          # put time
+                  st.integers(min_value=0, max_value=5)),  # priority
+        min_size=1, max_size=30),
+)
+@settings(max_examples=40)
+def test_consumer_never_starves_and_gets_everything(puts):
+    """A consumer draining as fast as items appear receives exactly
+    the posted multiset, regardless of put timing and priorities."""
+    sim = Simulator()
+    store = PriorityStore(sim)
+    received = []
+
+    for idx, (t, prio) in enumerate(puts):
+        sim.schedule(t, lambda idx=idx, prio=prio: store.put(idx, prio))
+
+    def consumer():
+        for _ in range(len(puts)):
+            item = yield store.get()
+            received.append(item)
+
+    sim.process(consumer())
+    sim.run()
+    assert sorted(received) == list(range(len(puts)))
+
+
+@given(n=st.integers(min_value=1, max_value=20))
+@settings(max_examples=20)
+def test_len_tracks_contents(n):
+    sim = Simulator()
+    store = PriorityStore(sim)
+    for i in range(n):
+        store.put(i, priority=i % 3)
+    assert len(store) == n
+    for k in range(n):
+        store.try_get()
+        assert len(store) == n - k - 1

@@ -1,0 +1,105 @@
+"""Tests for the regular topology families (torus, star) and how the
+three routers behave on them."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.routing.cdg import is_deadlock_free
+from repro.routing.itb import ItbRouter
+from repro.routing.minimal import MinimalRouter
+from repro.routing.spanning_tree import build_orientation
+from repro.routing.updown import UpDownRouter
+from repro.topology.generators import star_of_switches, torus_2d
+from repro.topology.graph import TopologyError
+
+
+class TestTorus:
+    def test_shape(self):
+        topo = torus_2d(3, 4, hosts_per_switch=2)
+        assert len(topo.switches()) == 12
+        assert len(topo.hosts()) == 24
+        # Every switch has degree 4 in a torus.
+        for s in topo.switches():
+            assert len(topo.switch_neighbors(s)) == 4
+
+    def test_minimum_size(self):
+        with pytest.raises(TopologyError):
+            torus_2d(2, 3)
+
+    def test_validates(self):
+        torus_2d(3, 3).validate()
+
+    def test_itb_routing_sound_on_torus(self):
+        topo = torus_2d(3, 3)
+        orientation = build_orientation(topo)
+        itb = ItbRouter(topo, orientation)
+        routes = itb.all_pairs()
+        for (s, d), route in routes.items():
+            current = s
+            for seg in route.segments:
+                assert topo.walk_route(current, list(seg.ports)) == seg.dst
+                current = seg.dst
+        assert is_deadlock_free(topo, routes.values())
+
+    def test_updown_already_minimal_on_small_tori(self):
+        """Surprising but true (and worth pinning): from the
+        min-eccentricity root, up*/down* achieves minimal hop counts
+        on small tori, so the ITB router emits zero ITBs — the ITB
+        advantage is specific to *irregular* fabrics, matching the
+        paper's setting."""
+        topo = torus_2d(3, 3)
+        orientation = build_orientation(topo)
+        itb = ItbRouter(topo, orientation)
+        ud = UpDownRouter(topo, orientation)
+        mn = MinimalRouter(topo)
+        hosts = topo.hosts()
+        pairs = list(itertools.permutations(hosts, 2))
+        itb_hops = sum(len(itb.itb_route(s, d).switch_hops())
+                       for s, d in pairs)
+        ud_hops = sum(len(ud.route(s, d).switch_hops()) for s, d in pairs)
+        min_hops = sum(len(mn.route(s, d).switch_hops()) for s, d in pairs)
+        assert itb_hops == ud_hops == min_hops
+        assert sum(itb.itb_route(s, d).n_itbs for s, d in pairs) == 0
+
+    def test_itb_matches_minimal_hops(self):
+        """With a host on every switch, ITB achieves minimal fabric
+        hop counts on the torus."""
+        topo = torus_2d(3, 3)
+        itb = ItbRouter(topo, build_orientation(topo))
+        mn = MinimalRouter(topo)
+        for s, d in itertools.permutations(topo.hosts(), 2):
+            assert len(itb.itb_route(s, d).switch_hops()) == \
+                len(mn.route(s, d).switch_hops())
+
+
+class TestStar:
+    def test_shape(self):
+        topo = star_of_switches(5, hosts_per_leaf=2)
+        assert len(topo.switches()) == 6
+        assert len(topo.hosts()) == 10
+
+    def test_needs_a_leaf(self):
+        with pytest.raises(TopologyError):
+            star_of_switches(0)
+
+    def test_updown_is_already_optimal(self):
+        """On a tree, every minimal path is a valid up*/down* path:
+        the ITB router must emit zero ITBs and match up*/down*."""
+        topo = star_of_switches(4, hosts_per_leaf=1)
+        orientation = build_orientation(topo)
+        itb = ItbRouter(topo, orientation)
+        ud = UpDownRouter(topo, orientation)
+        for s, d in itertools.permutations(topo.hosts(), 2):
+            route = itb.itb_route(s, d)
+            assert route.n_itbs == 0
+            assert route.segments[0].switch_path == \
+                ud.route(s, d).switch_path
+
+    def test_hub_is_the_root(self):
+        topo = star_of_switches(4)
+        orientation = build_orientation(topo)
+        # Min-eccentricity root selection must pick the hub.
+        assert orientation.root == topo.switches()[0]

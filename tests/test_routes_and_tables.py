@@ -1,0 +1,102 @@
+"""Tests for route datatypes and NIC route tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.routing.routes import ItbRoute, RouteError, SourceRoute
+from repro.routing.tables import RouteTable, build_route_tables
+from repro.routing.updown import UpDownRouter
+from repro.topology.generators import fig1_topology
+
+
+class TestSourceRoute:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(RouteError):
+            SourceRoute(src=0, dst=1, ports=(1, 2), switch_path=(5,))
+
+    def test_empty_route_rejected(self):
+        with pytest.raises(RouteError):
+            SourceRoute(src=0, dst=1, ports=(), switch_path=())
+
+    def test_counting_helpers(self):
+        r = SourceRoute(src=0, dst=1, ports=(1, 2, 3), switch_path=(7, 8, 9))
+        assert r.n_switches == 3
+        assert len(r) == 3
+        assert r.n_links == 4
+        assert r.switch_hops() == [(7, 8), (8, 9)]
+
+
+class TestItbRoute:
+    def seg(self, src, dst, sw):
+        return SourceRoute(src=src, dst=dst, ports=(0,), switch_path=(sw,))
+
+    def test_chain_integrity_enforced(self):
+        s1 = self.seg(0, 5, 10)
+        bad = self.seg(6, 1, 11)  # 6 != 5
+        with pytest.raises(RouteError):
+            ItbRoute((s1, bad))
+
+    def test_empty_rejected(self):
+        with pytest.raises(RouteError):
+            ItbRoute(())
+
+    def test_properties(self):
+        s1 = self.seg(0, 5, 10)
+        s2 = self.seg(5, 6, 11)
+        s3 = self.seg(6, 1, 12)
+        route = ItbRoute((s1, s2, s3))
+        assert route.src == 0 and route.dst == 1
+        assert route.itb_hosts == (5, 6)
+        assert route.n_itbs == 2
+        assert route.n_switches == 3
+        assert list(route) == [s1, s2, s3]
+
+    def test_single_segment_has_no_itbs(self):
+        route = ItbRoute((self.seg(0, 1, 10),))
+        assert route.n_itbs == 0 and route.itb_hosts == ()
+
+
+class TestRouteTable:
+    def test_install_and_lookup(self):
+        table = RouteTable(host=0)
+        r = SourceRoute(src=0, dst=1, ports=(0,), switch_path=(10,))
+        table.install(1, r)
+        assert table.lookup(1).segments[0] is r
+        assert table.destinations() == [1]
+        assert len(table) == 1
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(RouteError):
+            RouteTable(host=0).lookup(42)
+
+    def test_wrong_owner_rejected(self):
+        table = RouteTable(host=0)
+        r = SourceRoute(src=5, dst=1, ports=(0,), switch_path=(10,))
+        with pytest.raises(RouteError):
+            table.install(1, r)
+
+    def test_wrong_destination_rejected(self):
+        table = RouteTable(host=0)
+        r = SourceRoute(src=0, dst=1, ports=(0,), switch_path=(10,))
+        with pytest.raises(RouteError):
+            table.install(2, r)
+
+
+class TestBuildRouteTables:
+    def test_complete_tables(self):
+        topo, roles = fig1_topology()
+        router = UpDownRouter(topo)
+        tables = build_route_tables(topo.hosts(), router)
+        n = len(topo.hosts())
+        assert len(tables) == n
+        for h, table in tables.items():
+            assert len(table) == n - 1
+
+    def test_pairs_override(self):
+        topo, roles = fig1_topology()
+        router = UpDownRouter(topo)
+        s, d = roles["host_on_sw0"], roles["host_on_sw1"]
+        special = ItbRoute((router.route(s, d),))
+        tables = build_route_tables([s, d], router, pairs={(s, d): special})
+        assert tables[s].lookup(d) is special

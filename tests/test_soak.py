@@ -1,0 +1,91 @@
+"""Soak tests: long mixed workloads, gated behind REPRO_SOAK=1.
+
+The default suite keeps runs short; these push sustained mixed
+traffic (data, acks, ITB forwards, flushes, retransmits) through a
+medium cluster for a long simulated span and assert global sanity at
+the end — a net for slow leaks (unreleased channels, buffer slots,
+engine holds, arbiter imbalance).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.builder import build_network
+from repro.core.config import NetworkConfig
+from repro.core.timings import Timings
+from repro.harness.workloads import drive_traffic, uniform_traffic
+from repro.topology.generators import random_irregular
+
+SOAK = os.environ.get("REPRO_SOAK", "0") == "1"
+
+pytestmark = pytest.mark.skipif(
+    not SOAK, reason="set REPRO_SOAK=1 for the long soak tests")
+
+
+def soak_network(routing="itb", pool=True):
+    topo = random_irregular(16, seed=3, hosts_per_switch=2)
+    cfg = NetworkConfig(
+        firmware="itb", routing=routing,
+        timings=Timings().with_overrides(host_jitter_sigma_ns=0.0),
+        recv_buffer_kind="pool" if pool else "fixed",
+        pool_bytes=256 * 1024,
+        reliable=False,
+    )
+    return build_network(topo, config=cfg)
+
+
+class TestSoak:
+    @pytest.mark.parametrize("routing", ["updown", "itb"])
+    def test_sustained_load_leak_free(self, routing):
+        net = soak_network(routing)
+        drive_traffic(net, rate_bytes_per_ns_per_host=0.04,
+                      packet_size=512, duration_ns=3_000_000.0,
+                      warmup_ns=100_000.0)
+        # Drain in-flight packets, then check every resource returned.
+        net.sim.run(until=net.sim.now + 5_000_000.0)
+        assert all(v == 0 for v in net.fabric.utilization_snapshot().values())
+        for nic in net.nics.values():
+            assert nic.recv_buffers.occupancy_bytes == 0
+            assert nic.arbiter.recv_dma_active == 0
+            assert nic.arbiter.send_dma_active == 0
+            assert nic.arbiter.host_dma_active == 0
+        stats = net.total_stats()
+        assert stats["packets_received"] > 0
+
+    def test_reliable_soak_with_faults(self):
+        from repro.network.faults import FaultPlan, install_fault_plan
+
+        topo = random_irregular(8, seed=5, hosts_per_switch=1)
+        cfg = NetworkConfig(
+            firmware="itb", routing="itb", reliable=True,
+            timings=Timings().with_overrides(host_jitter_sigma_ns=0.0),
+        )
+        net = build_network(topo, config=cfg)
+        plan = FaultPlan(corrupt_probability=0.05, seed=9)
+        install_fault_plan(net, plan)
+        hosts = sorted(net.gm_hosts)
+        per_pair = 20
+        received = {h: [] for h in hosts}
+
+        def rx(h):
+            gm = net.gm_hosts[h]
+            while True:
+                msg = yield gm.receive()
+                received[h].append((msg.src, msg.tag))
+
+        for h in hosts:
+            net.sim.process(rx(h), name=f"rx{h}")
+        for i, src in enumerate(hosts):
+            dst = hosts[(i + 1) % len(hosts)]
+            for t in range(per_pair):
+                net.gm_hosts[src].send(dst, 256, tag=t)
+        net.sim.run(until=2_000_000_000.0)
+        for i, src in enumerate(hosts):
+            dst = hosts[(i + 1) % len(hosts)]
+            tags = sorted(t for s, t in received[dst] if s == src)
+            assert tags == list(range(per_pair)), (
+                f"{src}->{dst} incomplete after faults: {tags}")
+        assert plan.corrupted > 0

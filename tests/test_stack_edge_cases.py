@@ -1,0 +1,147 @@
+"""Edge cases across the layered stack (ports, IP, TCP-lite)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import build_network
+from repro.core.config import NetworkConfig
+from repro.core.timings import Timings
+from repro.gm.ip import IpEndpoint
+from repro.gm.ports import GmPort, GmPortError
+from repro.gm.tcp_lite import MSS, TcpLiteEndpoint
+from repro.network.faults import FaultPlan, install_fault_plan
+
+
+def build(reliable=False):
+    cfg = NetworkConfig(
+        firmware="itb", routing="updown", reliable=reliable,
+        timings=Timings().with_overrides(host_jitter_sigma_ns=0.0),
+    )
+    return build_network("fig6", config=cfg)
+
+
+class TestPortCloseSemantics:
+    def test_pending_receive_fails_on_close(self):
+        net = build(reliable=True)
+        port = GmPort(net.gm("host1"), 2)
+        failures = []
+
+        def waiter():
+            try:
+                yield port.receive()
+            except GmPortError:
+                failures.append(True)
+
+        net.sim.process(waiter(), name="w")
+        net.sim.run(until=1_000)  # the receive is now pending
+        port.close()
+        net.sim.run(until=2_000)
+        assert failures == [True]
+
+    def test_send_on_closed_port_rejected(self):
+        net = build(reliable=True)
+        port = GmPort(net.gm("host1"), 2)
+        port.close()
+        with pytest.raises(GmPortError):
+            port.send(net.roles["host2"], 2, 10)
+
+
+class TestIpUnderSustainedLoss:
+    def test_half_the_datagrams_survive_heavy_loss(self):
+        """Statistical sanity: with per-fragment corruption, some
+        single-fragment datagrams still get through and every delivery
+        has the right length."""
+        net = build()
+        a = IpEndpoint(net.gm("host1"))
+        b = IpEndpoint(net.gm("host2"))
+        b.reassembly_timeout_ns = 2_000_000.0
+        got = []
+        b.on_datagram(got.append)
+        install_fault_plan(net, FaultPlan(corrupt_probability=0.3, seed=4))
+        n = 20
+        for _ in range(n):
+            a.send(net.roles["host2"], 500)
+        net.sim.run(until=200_000_000)
+        assert 0 < len(got) < n
+        assert all(d.length == 500 for d in got)
+        assert b.partial_reassemblies == 0
+
+    def test_stats_add_up(self):
+        net = build()
+        a = IpEndpoint(net.gm("host1"))
+        b = IpEndpoint(net.gm("host2"))
+        got = []
+        b.on_datagram(got.append)
+        for size in (0, 100, 9000):
+            a.send(net.roles["host2"], size)
+        net.sim.run(until=100_000_000)
+        assert a.stats.datagrams_sent == 3
+        assert b.stats.datagrams_delivered == 3
+        assert b.stats.fragments_received == a.stats.fragments_sent
+
+
+class TestTcpWindowAndLoss:
+    def test_small_window_with_repeated_loss_still_completes(self):
+        net = build()
+        a = TcpLiteEndpoint(net.gm("host1"), window_bytes=MSS,
+                            rto_ns=300_000.0)
+        b = TcpLiteEndpoint(net.gm("host2"))
+        net.sim.run_until_event(a.connect(net.roles["host2"]))
+        net.sim.run(until=net.sim.now + 1_000_000)
+        install_fault_plan(net, FaultPlan(corrupt_probability=0.25, seed=8))
+        size = 6 * MSS
+        done = a.send_stream(net.roles["host2"], size)
+        net.sim.run_until_event(done, max_events=50_000_000)
+        assert b.stats.bytes_delivered == size
+        assert a.stats.retransmissions > 0
+
+    def test_two_streams_back_to_back(self):
+        net = build()
+        a = TcpLiteEndpoint(net.gm("host1"))
+        b = TcpLiteEndpoint(net.gm("host2"))
+        net.sim.run_until_event(a.connect(net.roles["host2"]))
+        net.sim.run_until_event(a.send_stream(net.roles["host2"], 1000))
+        net.sim.run_until_event(a.send_stream(net.roles["host2"], 2000))
+        assert b.stats.bytes_delivered == 3000
+
+    def test_bidirectional_connections_independent(self):
+        net = build()
+        a = TcpLiteEndpoint(net.gm("host1"))
+        b = TcpLiteEndpoint(net.gm("host2"))
+        net.sim.run_until_event(a.connect(net.roles["host2"]))
+        net.sim.run_until_event(b.connect(net.roles["host1"]))
+        net.sim.run_until_event(a.send_stream(net.roles["host2"], 500))
+        net.sim.run_until_event(b.send_stream(net.roles["host1"], 700))
+        assert b.stats.bytes_delivered == 500
+        assert a.stats.bytes_delivered == 700
+
+
+class TestLayerCoexistence:
+    def test_gm_ip_tcp_share_one_nic(self):
+        """All three layers on the same hosts at once: each delivery
+        path stays separate."""
+        net = build(reliable=True)
+        ip_a = IpEndpoint(net.gm("host1"))
+        ip_b = IpEndpoint(net.gm("host2"))
+        tcp_a = TcpLiteEndpoint(net.gm("host1"))
+        tcp_b = TcpLiteEndpoint(net.gm("host2"))
+        dgrams = []
+        ip_b.on_datagram(dgrams.append)
+        gm_msgs = []
+
+        def rx():
+            while True:
+                msg = yield net.gm("host2").receive()
+                gm_msgs.append(msg)
+
+        net.sim.process(rx(), name="rx")
+        net.sim.run_until_event(tcp_a.connect(net.roles["host2"]))
+        net.gm("host1").send(net.roles["host2"], 111)
+        ip_a.send(net.roles["host2"], 222)
+        net.sim.run_until_event(
+            tcp_a.send_stream(net.roles["host2"], 333))
+        net.sim.run(until=net.sim.now + 5_000_000)
+        assert [m.length for m in gm_msgs] == [111]
+        assert [d.length for d in dgrams] == [222]
+        assert tcp_b.stats.bytes_delivered == 333

@@ -1,0 +1,101 @@
+"""Tests for the generic parameter-sweep utility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.sweep import SweepPoint, sweep
+
+
+class TestSweep:
+    def test_cartesian_product_in_order(self):
+        calls = []
+
+        def fn(a, b):
+            calls.append((a, b))
+            return a * b
+
+        result = sweep(fn, {"a": [1, 2], "b": [10, 20]})
+        assert calls == [(1, 10), (1, 20), (2, 10), (2, 20)]
+        assert [p.value for p in result.points] == [10, 20, 20, 40]
+
+    def test_fixed_parameters(self):
+        result = sweep(lambda a, scale: a * scale,
+                       {"a": [1, 2, 3]}, fixed={"scale": 100})
+        assert [p.value for p in result.points] == [100, 200, 300]
+
+    def test_fixed_axis_clash_rejected(self):
+        with pytest.raises(ValueError):
+            sweep(lambda a: a, {"a": [1]}, fixed={"a": 2})
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            sweep(lambda: 0, {})
+
+    def test_error_aborts_by_default(self):
+        def fn(a):
+            if a == 2:
+                raise RuntimeError("boom")
+            return a
+
+        with pytest.raises(RuntimeError):
+            sweep(fn, {"a": [1, 2, 3]})
+
+    def test_error_isolation(self):
+        def fn(a):
+            if a == 2:
+                raise RuntimeError("boom")
+            return a
+
+        result = sweep(fn, {"a": [1, 2, 3]}, isolate_errors=True)
+        assert len(result) == 3
+        assert len(result.failures) == 1
+        assert not result.points[1].ok
+        assert "boom" in result.points[1].error
+
+    def test_values_filter(self):
+        result = sweep(lambda a, b: a + b, {"a": [1, 2], "b": [10, 20]})
+        assert result.values(a=1) == [11, 21]
+        assert result.values(a=2, b=20) == [22]
+
+    def test_best(self):
+        result = sweep(lambda a: a * a, {"a": [-3, 1, 2]})
+        assert result.best(key=lambda v: v).params == {"a": -3}
+        assert result.best(key=lambda v: v, maximize=False).params == {"a": 1}
+
+    def test_best_requires_success(self):
+        result = sweep(lambda a: 1 / 0, {"a": [1]}, isolate_errors=True)
+        with pytest.raises(ValueError):
+            result.best(key=lambda v: v)
+
+    def test_on_point_callback(self):
+        seen: list[SweepPoint] = []
+        sweep(lambda a: a, {"a": [5, 6]}, on_point=seen.append)
+        assert [p.params["a"] for p in seen] == [5, 6]
+
+    def test_table_rows(self):
+        result = sweep(lambda a: (a, a * 2), {"a": [1, 2]})
+        rows = result.table_rows(extract=lambda v: [v[1]])
+        assert rows == [(1, 2), (2, 4)]
+
+
+class TestSweepWithSimulator:
+    def test_timing_sensitivity_study(self):
+        """Real use: per-ITB overhead as a function of the firmware
+        cycle budget — monotone by construction."""
+        from repro.core.timings import Timings
+        from repro.harness.fig8 import run_fig8
+
+        def overhead(cycles):
+            t = Timings().with_overrides(
+                itb_early_recv_cycles=cycles,
+                host_jitter_sigma_ns=0.0,
+            )
+            return run_fig8(sizes=(64,), iterations=3,
+                            timings=t).rows[0].overhead_ns
+
+        result = sweep(overhead, {"cycles": [10, 40, 70]})
+        values = [p.value for p in result.points]
+        assert values == sorted(values)
+        assert values[-1] - values[0] == pytest.approx(
+            60 * Timings().lanai_cycle_ns, rel=0.05)

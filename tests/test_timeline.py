@@ -1,0 +1,89 @@
+"""Tests for the packet-lifecycle timeline renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import build_network
+from repro.core.config import NetworkConfig
+from repro.core.timings import Timings
+from repro.harness.paths import fig6_paths
+from repro.harness.timeline import PacketTimeline, packet_timeline
+from repro.sim.trace import Trace
+
+
+def traced_net():
+    cfg = NetworkConfig(
+        firmware="itb", routing="updown", trace=True,
+        timings=Timings().with_overrides(host_jitter_sigma_ns=0.0),
+    )
+    return build_network("fig6", config=cfg)
+
+
+def send_one(net, route=None, size=256):
+    done = net.sim.event("one")
+    holder = {}
+
+    def on_final(tp):
+        holder["tp"] = tp
+        done.succeed()
+
+    net.nics[net.roles["host1"]].firmware.host_send(
+        dst=net.roles["host2"], payload_len=size, gm={"last": True},
+        on_delivered=on_final, route=route,
+    )
+    net.sim.run_until_event(done)
+    return holder["tp"]
+
+
+class TestPacketTimeline:
+    def test_plain_packet_lifecycle(self):
+        net = traced_net()
+        tp = send_one(net)
+        tl = packet_timeline(net.trace, tp)
+        labels = [label for (_t, _c, label) in tl.events]
+        assert labels[0] == "injected"
+        assert labels[-1] == "delivered to host"
+        assert tl.span_ns > 0
+
+    def test_itb_packet_lifecycle(self):
+        net = traced_net()
+        paths = fig6_paths(net.topo, net.roles)
+        tp = send_one(net, route=paths.itb5)
+        tl = packet_timeline(net.trace, tp)
+        labels = [label for (_t, _c, label) in tl.events]
+        assert "early-recv (ITB detect)" in labels
+        assert "re-injected (fast path)" in labels
+        assert any("segment 1" in l for l in labels)
+        # Events are time-ordered.
+        times = [t for (t, _c, _l) in tl.events]
+        assert times == sorted(times)
+
+    def test_accepts_raw_pid(self):
+        net = traced_net()
+        tp = send_one(net)
+        assert packet_timeline(net.trace, tp.pid).pid == tp.pid
+
+    def test_render_layout(self):
+        net = traced_net()
+        paths = fig6_paths(net.topo, net.roles)
+        tp = send_one(net, route=paths.itb5)
+        out = packet_timeline(net.trace, tp).render(width=30)
+        lines = out.splitlines()
+        assert str(tp.pid) in lines[0]
+        # One strip per event, each containing exactly one marker.
+        for line in lines[1:]:
+            assert line.count("#") == 1
+            assert "|" in line
+
+    def test_unknown_pid_empty(self):
+        tl = packet_timeline(Trace(), 424242)
+        assert tl.events == []
+        assert "no trace records" in tl.render()
+
+    def test_single_event_span_zero(self):
+        trace = Trace()
+        trace.emit(5.0, "nic[x]", "inject", pid=1, seg=0)
+        tl = packet_timeline(trace, 1)
+        assert tl.span_ns == 0.0
+        assert "injected" in tl.render()

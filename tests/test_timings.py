@@ -1,0 +1,70 @@
+"""Tests for the timing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.timings import Timings
+from repro.topology.graph import PortKind
+
+
+class TestDerivedValues:
+    def test_cycles(self):
+        t = Timings()
+        assert t.cycles(1) == pytest.approx(15.15)
+        assert t.cycles(10) == pytest.approx(151.5)
+
+    def test_wire_time_matches_link_rate(self):
+        t = Timings()
+        # 160 MB/s <=> 6.25 ns/byte <=> 1 KB in 6.4 us.
+        assert t.wire_time(1024) == pytest.approx(6400.0)
+
+    def test_itb_check_near_paper_value(self):
+        """The added receive-path instructions cost ~125 ns."""
+        assert 110.0 <= Timings().itb_check_ns <= 140.0
+
+    def test_itb_forward_near_paper_value(self):
+        """Detection + re-injection programming lands near 1.3 us."""
+        assert 1_200.0 <= Timings().itb_forward_ns <= 1_400.0
+
+    def test_fall_through_table_complete(self):
+        t = Timings()
+        for a in PortKind:
+            for b in PortKind:
+                assert t.fall_through(a, b) > 0
+
+    def test_fall_through_symmetric_mixed(self):
+        t = Timings()
+        assert t.fall_through(PortKind.SAN, PortKind.LAN) == \
+            t.fall_through(PortKind.LAN, PortKind.SAN)
+
+    def test_san_faster_than_lan(self):
+        t = Timings()
+        assert t.fall_through(PortKind.SAN, PortKind.SAN) < \
+            t.fall_through(PortKind.LAN, PortKind.LAN)
+
+    def test_propagation(self):
+        t = Timings()
+        assert t.propagation(10.0) == pytest.approx(43.0)
+
+    def test_pci_faster_than_wire(self):
+        """64/66 PCI outruns the 160 MB/s link, as on the real cards."""
+        t = Timings()
+        assert t.pci_byte_ns < t.link_byte_ns
+
+
+class TestOverrides:
+    def test_with_overrides_creates_variant(self):
+        base = Timings()
+        variant = base.with_overrides(itb_check_cycles=16)
+        assert variant.itb_check_cycles == 16
+        assert base.itb_check_cycles == 8  # original untouched
+
+    def test_frozen(self):
+        t = Timings()
+        with pytest.raises(Exception):
+            t.lanai_cycle_ns = 1.0  # type: ignore[misc]
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TypeError):
+            Timings().with_overrides(warp_factor=9)

@@ -1,0 +1,63 @@
+"""Tests for topology export (DOT / text)."""
+
+from __future__ import annotations
+
+from repro.routing.spanning_tree import build_orientation
+from repro.topology.export import to_dot, to_text
+from repro.topology.generators import fig1_topology, fig6_testbed
+
+
+class TestDot:
+    def test_undirected_graph(self):
+        topo, _ = fig6_testbed()
+        dot = to_dot(topo)
+        assert dot.startswith("graph myrinet {")
+        assert dot.rstrip().endswith("}")
+        # One node statement per node, one edge per cable.
+        assert dot.count("shape=box") == len(topo.switches())
+        assert dot.count("shape=ellipse") == len(topo.hosts())
+        assert dot.count(" -- ") == len(topo.links)
+
+    def test_lan_cables_dashed(self):
+        topo, _ = fig6_testbed()
+        dot = to_dot(topo)
+        assert "style=dashed" in dot and "style=solid" in dot
+
+    def test_oriented_digraph(self):
+        topo, roles = fig1_topology()
+        orientation = build_orientation(topo, root=roles["sw0"])
+        dot = to_dot(topo, orientation)
+        assert dot.startswith("digraph")
+        assert "(root)" in dot
+        assert "level 0" in dot and "level 2" in dot
+        # Host links carry no orientation: rendered dir=none.
+        assert dot.count("dir=none") == len(topo.hosts())
+
+    def test_arrows_point_up(self):
+        topo, roles = fig1_topology()
+        orientation = build_orientation(topo, root=roles["sw0"])
+        dot = to_dot(topo, orientation)
+        # The 0-1 cable's up end is the root: edge must be n1 -> n0.
+        assert f"n{roles['sw1']} -> n{roles['sw0']}" in dot
+
+
+class TestText:
+    def test_summary_lists_every_port(self):
+        topo, roles = fig6_testbed()
+        text = to_text(topo)
+        assert "2 switches" in text and "3 hosts" in text
+        # All cabled switch ports listed.
+        cabled = sum(len(topo.ports_of(s)) for s in topo.switches())
+        assert text.count("port ") - text.count("own port") >= cabled
+
+    def test_loopback_described(self):
+        topo, _ = fig6_testbed()
+        text = to_text(topo)
+        assert "loopback to own port" in text
+
+    def test_orientation_annotations(self):
+        topo, roles = fig1_topology()
+        orientation = build_orientation(topo, root=roles["sw0"])
+        text = to_text(topo, orientation)
+        assert "root]" in text
+        assert "(up)" in text and "(down)" in text

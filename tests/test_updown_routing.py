@@ -1,0 +1,153 @@
+"""Tests for the up*/down* router."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing.cdg import is_deadlock_free
+from repro.routing.routes import RouteError
+from repro.routing.spanning_tree import build_orientation
+from repro.routing.updown import UpDownRouter
+from repro.topology.generators import (
+    fig1_topology,
+    linear_switches,
+    mesh_2d,
+    random_irregular,
+)
+
+
+@pytest.fixture
+def fig1_router():
+    topo, roles = fig1_topology()
+    orientation = build_orientation(topo, root=roles["sw0"])
+    return topo, roles, UpDownRouter(topo, orientation)
+
+
+class TestSwitchRoute:
+    def test_identity(self, fig1_router):
+        topo, roles, router = fig1_router
+        assert router.switch_route(roles["sw3"], roles["sw3"]) == [roles["sw3"]]
+
+    def test_avoids_forbidden_shortcut(self, fig1_router):
+        topo, roles, router = fig1_router
+        path = router.switch_route(roles["sw4"], roles["sw1"])
+        assert router.orientation.is_valid_updown_path(topo, path)
+        # 4 -> 6 -> 1 is forbidden; the route must be longer.
+        assert len(path) > 3
+
+    def test_every_route_is_valid(self, fig1_router):
+        topo, roles, router = fig1_router
+        for a, b in itertools.permutations(topo.switches(), 2):
+            path = router.switch_route(a, b)
+            assert path[0] == a and path[-1] == b
+            assert router.orientation.is_valid_updown_path(topo, path)
+
+    def test_shortest_among_valid(self, fig1_router):
+        """BFS result matches brute-force shortest valid path length."""
+        topo, roles, router = fig1_router
+        adj = {
+            s: sorted({n for (_p, n, _l) in topo.switch_neighbors(s)})
+            for s in topo.switches()
+        }
+
+        def brute_force(a, b, max_len=7):
+            from collections import deque
+
+            best = None
+            q = deque([[a]])
+            while q:
+                path = q.popleft()
+                if len(path) > max_len:
+                    continue
+                if path[-1] == b:
+                    if router.orientation.is_valid_updown_path(topo, path):
+                        return len(path)
+                    continue
+                for v in adj[path[-1]]:
+                    if v not in path:
+                        q.append(path + [v])
+            return best
+
+        for a, b in itertools.permutations(topo.switches(), 2):
+            bf = brute_force(a, b)
+            got = len(router.switch_route(a, b))
+            assert got == bf, f"{a}->{b}: got {got}, brute force {bf}"
+
+    def test_rejects_host_endpoints(self, fig1_router):
+        topo, roles, router = fig1_router
+        with pytest.raises(RouteError):
+            router.switch_route(roles["host_on_sw0"], roles["sw1"])
+
+
+class TestHostRoutes:
+    def test_route_delivers(self, fig1_router):
+        topo, roles, router = fig1_router
+        r = router.route(roles["host_on_sw4"], roles["host_on_sw1"])
+        assert topo.walk_route(r.src, list(r.ports)) == r.dst
+
+    def test_same_host_rejected(self, fig1_router):
+        _, roles, router = fig1_router
+        h = roles["host_on_sw0"]
+        with pytest.raises(RouteError):
+            router.route(h, h)
+
+    def test_ports_length_matches_switch_path(self, fig1_router):
+        topo, roles, router = fig1_router
+        r = router.route(roles["host_on_sw3"], roles["host_on_sw5"])
+        assert len(r.ports) == len(r.switch_path)
+
+    def test_all_pairs_complete_and_deadlock_free(self, fig1_router):
+        topo, roles, router = fig1_router
+        routes = router.all_pairs()
+        hosts = topo.hosts()
+        assert len(routes) == len(hosts) * (len(hosts) - 1)
+        assert is_deadlock_free(topo, routes.values())
+
+    def test_same_switch_hosts_route_through_one_switch(self):
+        topo = linear_switches(2, hosts_per_switch=2)
+        router = UpDownRouter(topo)
+        h_same = topo.hosts_on(topo.switches()[0])
+        r = router.route(h_same[0], h_same[1])
+        assert r.n_switches == 1
+
+    def test_route_via_explicit_path(self, fig1_router):
+        topo, roles, router = fig1_router
+        src, dst = roles["host_on_sw4"], roles["host_on_sw1"]
+        explicit = [roles["sw4"], roles["sw2"], roles["sw0"], roles["sw1"]]
+        r = router.route_via(src, dst, explicit)
+        assert r.switch_path == tuple(explicit)
+        assert topo.walk_route(src, list(r.ports)) == dst
+
+    def test_route_via_wrong_endpoints_rejected(self, fig1_router):
+        topo, roles, router = fig1_router
+        with pytest.raises(RouteError):
+            router.route_via(
+                roles["host_on_sw4"], roles["host_on_sw1"],
+                [roles["sw3"], roles["sw1"]],
+            )
+
+
+class TestOnRegularTopologies:
+    def test_mesh_routes_valid(self):
+        topo = mesh_2d(3, 3)
+        router = UpDownRouter(topo)
+        routes = router.all_pairs()
+        for r in routes.values():
+            assert router.is_valid(r)
+        assert is_deadlock_free(topo, routes.values())
+
+    @given(n=st.integers(min_value=2, max_value=14),
+           seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=25, deadline=None)
+    def test_random_irregular_always_routable_and_deadlock_free(self, n, seed):
+        topo = random_irregular(n, seed=seed)
+        router = UpDownRouter(topo)
+        routes = router.all_pairs()
+        for r in routes.values():
+            assert router.is_valid(r)
+            assert topo.walk_route(r.src, list(r.ports)) == r.dst
+        assert is_deadlock_free(topo, routes.values())

@@ -12,7 +12,10 @@ tables as the benchmark suite) without going through pytest:
 * ``validate`` — measure every quick-checkable paper claim and print
   one verdict table (exit code reflects the outcome),
 * ``all`` — regenerate the figure results and persist them to JSON
-  (``--save results.json``) for EXPERIMENTS.md refreshes.
+  (``--save results.json``) for EXPERIMENTS.md refreshes,
+* ``obs`` — run an instrumented workload and dump the unified
+  telemetry (metrics, sampled time series, engine profile) as
+  Prometheus text, JSON, CSV, and a chrome trace with counter tracks.
 """
 
 from __future__ import annotations
@@ -193,6 +196,60 @@ def _cmd_all(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    from repro.harness.report import profiler_table, registry_table
+    from repro.obs.run import export_all, run_obs
+
+    if args.interval <= 0:
+        print(f"repro obs: error: --interval must be positive: "
+              f"{args.interval}", file=sys.stderr)
+        return 2
+    r = run_obs(
+        topology=args.topology,
+        switches=args.switches,
+        hosts_per_switch=args.hosts_per_switch,
+        topo_seed=args.seed,
+        routing=args.routing,
+        load=args.load,
+        packet_size=args.packet_size,
+        duration_ns=args.duration * 1000.0,
+        warmup_ns=args.warmup * 1000.0,
+        interval_ns=args.interval,
+        traffic_seed=args.traffic_seed,
+    )
+    t, lat = r.traffic, r.latency
+    print(format_table(
+        ["quantity", "value"],
+        [
+            ("offered packets", t.offered_packets),
+            ("delivered packets", t.delivered_packets),
+            ("dropped packets", t.dropped_packets),
+            ("delivered fraction", t.delivered_fraction),
+            ("mean latency (us)", lat.mean_us),
+            ("p50 / p90 (us)", f"{lat.p50 / 1000:.2f} / {lat.p90 / 1000:.2f}"),
+            ("p99 / p99.9 (us)",
+             f"{lat.p99 / 1000:.2f} / {lat.p999 / 1000:.2f}"),
+        ],
+        title=f"repro obs — {args.topology}, load {args.load}",
+    ))
+    print()
+    print(registry_table(r.registry, title="telemetry (nonzero metrics)",
+                         limit=args.rows))
+    if r.telemetry.profiler is not None:
+        print()
+        print(profiler_table(r.telemetry.profiler))
+    sampler = r.telemetry.sampler
+    if sampler is not None:
+        print(f"\nsampled {sampler.n_ticks} snapshots x"
+              f" {len(sampler.series)} gauge series"
+              f" @ {sampler.interval_ns:.0f} ns")
+    if args.out:
+        paths = export_all(r, args.out)
+        for kind, path in sorted(paths.items()):
+            print(f"wrote {kind}: {path}")
+    return 0
+
+
 def _cmd_discover(args) -> int:
     from repro.core.builder import build_network
     from repro.gm.discovery import discover_network
@@ -275,6 +332,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--throughput", action="store_true",
                    help="include the 64-switch EXP-M1 ratio (minutes)")
 
+    p = sub.add_parser("obs", help="instrumented workload: unified"
+                                   " telemetry dump")
+    p.add_argument("--topology", choices=("fig6", "random"),
+                   default="fig6")
+    p.add_argument("--switches", type=int, default=8)
+    p.add_argument("--hosts-per-switch", type=int, default=2)
+    p.add_argument("--routing", choices=("updown", "itb"),
+                   default="updown")
+    p.add_argument("--load", type=float, default=0.02,
+                   help="offered load (bytes/ns/host; link = 0.16)")
+    p.add_argument("--packet-size", type=int, default=512)
+    p.add_argument("--duration", type=float, default=50.0,
+                   help="measurement window (us)")
+    p.add_argument("--warmup", type=float, default=0.0,
+                   help="warmup before the window (us)")
+    p.add_argument("--interval", type=float, default=1000.0,
+                   help="gauge sampling interval (ns)")
+    p.add_argument("--seed", type=int, default=5)
+    p.add_argument("--traffic-seed", type=int, default=7)
+    p.add_argument("--rows", type=int, default=40,
+                   help="max telemetry table rows printed")
+    p.add_argument("--out", type=str, default="",
+                   help="directory for the exporter dumps")
+
     p = sub.add_parser("discover", help="run the mapper's exploration")
     p.add_argument("--topology", choices=("fig6", "random"),
                    default="fig6")
@@ -292,6 +373,7 @@ _COMMANDS = {
     "throughput": _cmd_throughput,
     "apps": _cmd_apps,
     "discover": _cmd_discover,
+    "obs": _cmd_obs,
     "validate": _cmd_validate,
     "all": _cmd_all,
 }

@@ -34,10 +34,19 @@ from repro.harness.workloads import (
 from repro.harness.metrics import LatencySummary, saturation_point, summarize_latencies
 from repro.harness.paper_claims import CLAIMS, Claim, claim
 from repro.harness.ascii_plot import line_plot
-from repro.harness.report import format_table, paper_vs_measured
+from repro.harness.report import (
+    format_table,
+    paper_vs_measured,
+    profiler_table,
+    registry_table,
+)
 from repro.harness.sweep import SweepPoint, SweepResult, sweep
 from repro.harness.persist import load_results, save_results
-from repro.harness.chrome_trace import to_chrome_trace, write_chrome_trace
+from repro.harness.chrome_trace import (
+    to_chrome_trace,
+    to_counter_events,
+    write_chrome_trace,
+)
 from repro.harness.root_study import RootStudyRow, run_root_study
 from repro.harness.timeline import PacketTimeline, packet_timeline
 from repro.harness.validation import ValidationReport, validate_claims
@@ -70,6 +79,7 @@ __all__ = [
     "measure_breakdown",
     "packet_timeline",
     "paper_vs_measured",
+    "profiler_table",
     "permutation_traffic",
     "run_app_comparison",
     "run_fig1",
@@ -82,7 +92,9 @@ __all__ = [
     "saturation_point",
     "summarize_latencies",
     "sweep",
+    "registry_table",
     "to_chrome_trace",
+    "to_counter_events",
     "uniform_traffic",
     "validate_claims",
     "write_chrome_trace",

@@ -7,25 +7,30 @@ timestamps, one row per named "thread".  Mapping our components
 events gives an interactive zoomable view of a simulation — far
 easier to scan than a textual trace when debugging contention.
 
-Two event mappings:
+Three event mappings:
 
 * every :class:`~repro.sim.trace.TraceRecord` becomes an *instant*
   event (phase ``"i"``) on its component's row,
 * per-packet lifecycles (inject -> deliver at a NIC pair) can also be
   emitted as *duration* pairs (phases ``"b"``/``"e"``) so packets show
-  as horizontal spans, via ``durations=True``.
+  as horizontal spans, via ``durations=True``,
+* sampled telemetry time series (from a
+  :class:`repro.obs.sampler.Sampler`) become *counter* events (phase
+  ``"C"``), which Perfetto renders as occupancy/utilization tracks
+  alongside the packet spans — pass them via ``series=``.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING, Iterable, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover - import-cycle guard
+    from repro.obs.sampler import TimeSeries
     from repro.sim.trace import Trace
 
-__all__ = ["to_chrome_trace", "write_chrome_trace"]
+__all__ = ["to_chrome_trace", "to_counter_events", "write_chrome_trace"]
 
 #: Lifecycle kinds that open/close a packet's duration span.
 _SPAN_OPEN = "inject"
@@ -80,14 +85,44 @@ def to_chrome_trace(trace: "Trace", durations: bool = True) -> list[dict]:
     return events
 
 
+def to_counter_events(series: Iterable["TimeSeries"],
+                      pid: str = "repro") -> list[dict]:
+    """Convert sampled gauge series to counter ("C") phase events.
+
+    Each :class:`~repro.obs.sampler.TimeSeries` becomes one counter
+    track named ``metric component`` whose value steps at every sample
+    point; Perfetto draws these as filled area charts alongside the
+    packet spans.
+    """
+    events: list[dict] = []
+    for ts in series:
+        component = ts.component
+        name = f"{ts.name} {component}" if component else ts.name
+        for point in ts.points:
+            events.append({
+                "name": name,
+                "ph": "C",
+                "ts": point.t_ns / 1000.0,
+                "pid": pid,
+                "args": {"value": point.value},
+            })
+    return events
+
+
 def write_chrome_trace(
     trace: "Trace",
     path: Union[str, Path],
     durations: bool = True,
+    series: Iterable["TimeSeries"] = (),
 ) -> Path:
-    """Write the trace as a ``chrome://tracing``-loadable JSON file."""
+    """Write the trace as a ``chrome://tracing``-loadable JSON file.
+
+    ``series`` (sampled telemetry time series) are appended as counter
+    tracks via :func:`to_counter_events`.
+    """
     path = Path(path)
-    payload = {"traceEvents": to_chrome_trace(trace, durations=durations),
-               "displayTimeUnit": "ns"}
+    events = to_chrome_trace(trace, durations=durations)
+    events.extend(to_counter_events(series))
+    payload = {"traceEvents": events, "displayTimeUnit": "ns"}
     path.write_text(json.dumps(payload, indent=1))
     return path

@@ -12,25 +12,43 @@ __all__ = ["LatencySummary", "summarize_latencies", "saturation_point"]
 
 @dataclass(frozen=True)
 class LatencySummary:
-    """Summary statistics of a latency sample (ns)."""
+    """Summary statistics of a latency sample (ns).
+
+    An empty sample (``n == 0``) carries ``nan`` in every statistic so
+    that a run that produced no latencies can never masquerade as a
+    zero-latency run; check :attr:`empty` (or ``n``) before comparing.
+    """
 
     n: int
     mean: float
     std: float
     minimum: float
     p50: float
+    p90: float
     p99: float
+    p999: float
     maximum: float
 
     @property
+    def empty(self) -> bool:
+        """True when the summary was computed over zero samples."""
+        return self.n == 0
+
+    @property
     def mean_us(self) -> float:
+        """Mean in microseconds."""
         return self.mean / 1000.0
 
 
 def summarize_latencies(samples: Sequence[float]) -> LatencySummary:
-    """Compute the standard summary over a latency sample."""
+    """Compute the standard summary over a latency sample.
+
+    With zero samples every statistic is ``nan`` (distinguishable
+    sentinel), not ``0.0``.
+    """
     if len(samples) == 0:
-        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        nan = float("nan")
+        return LatencySummary(0, nan, nan, nan, nan, nan, nan, nan, nan)
     a = np.asarray(samples, dtype=float)
     return LatencySummary(
         n=int(a.size),
@@ -38,7 +56,9 @@ def summarize_latencies(samples: Sequence[float]) -> LatencySummary:
         std=float(a.std()),
         minimum=float(a.min()),
         p50=float(np.percentile(a, 50)),
+        p90=float(np.percentile(a, 90)),
         p99=float(np.percentile(a, 99)),
+        p999=float(np.percentile(a, 99.9)),
         maximum=float(a.max()),
     )
 

@@ -1,10 +1,24 @@
-"""ASCII reporting: experiment tables and paper-vs-measured rows."""
+"""ASCII reporting: experiment tables and paper-vs-measured rows.
+
+This module is also the *single* rendering path for telemetry: NIC
+counters, fabric-usage statistics, and any other component metric all
+print through :func:`registry_table` once they are registered in a
+:class:`repro.obs.registry.MetricsRegistry` — there are deliberately
+no bespoke per-silo summary tables (``NicStats`` and ``FabricUsage``
+summaries used to be assembled by hand at every call site; wire the
+network with :func:`repro.obs.attach.instrument_network` instead).
+"""
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Optional, Sequence
 
-__all__ = ["format_table", "paper_vs_measured"]
+if TYPE_CHECKING:  # pragma: no cover - import-cycle guard
+    from repro.obs.profiler import Profiler
+    from repro.obs.registry import MetricsRegistry
+
+__all__ = ["format_table", "paper_vs_measured", "profiler_table",
+           "registry_table"]
 
 
 def format_table(
@@ -48,4 +62,59 @@ def paper_vs_measured(
     ]
     return format_table(
         ["quantity", "paper", "measured", "shape holds"], rows, title=title
+    )
+
+
+def registry_table(
+    registry: "MetricsRegistry",
+    title: str = "telemetry",
+    kinds: Sequence[str] = ("counter", "gauge"),
+    nonzero_only: bool = True,
+    name_prefix: Optional[str] = None,
+    limit: Optional[int] = None,
+) -> str:
+    """Render registered metrics as one ASCII table.
+
+    The shared summary path for every stat silo: ``NicStats``
+    counters, buffer gauges, and fabric-usage statistics all print
+    here once wired through the registry.  ``nonzero_only`` drops
+    all-zero rows (most per-channel metrics are quiet in small runs);
+    ``name_prefix`` filters a metric family; ``limit`` truncates to
+    the first N rows after sorting by name then labels.
+    """
+    rows: list[tuple[str, str, float]] = []
+    for metric in registry.collect():
+        if metric.kind not in kinds:
+            continue
+        if name_prefix is not None and not metric.name.startswith(name_prefix):
+            continue
+        value = float(metric.value)
+        if nonzero_only and value == 0.0:
+            continue
+        labels = ",".join(
+            f"{k}={v}" for k, v in sorted(metric.labels.items()))
+        rows.append((metric.name, labels, value))
+    if limit is not None:
+        rows = rows[:limit]
+    return format_table(["metric", "labels", "value"], rows, title=title)
+
+
+def profiler_table(
+    profiler: "Profiler", title: str = "engine profile", limit: int = 12
+) -> str:
+    """Render a profiler's hottest components as an ASCII table.
+
+    One row per component kind (``send``, ``sdma``, ...), descending
+    wall-clock share, with the engine total as the last row.
+    """
+    total_wall = max(profiler.wall_ns_total, 1e-9)
+    rows: list[tuple[str, Any, float, float]] = []
+    for kind, entry in list(profiler.by_kind().items())[:limit]:
+        rows.append((kind, int(entry["events"]),
+                     entry["wall_ns"] / 1e6,
+                     100.0 * entry["wall_ns"] / total_wall))
+    rows.append(("TOTAL", profiler.events_total,
+                 profiler.wall_ns_total / 1e6, 100.0))
+    return format_table(
+        ["component", "events", "wall (ms)", "wall (%)"], rows, title=title
     )

@@ -58,6 +58,10 @@ class FixedBuffers:
         return self.n_slots - len(self._slots)
 
     @property
+    def n_packets(self) -> int:
+        return len(self._slots)
+
+    @property
     def occupancy_bytes(self) -> int:
         return sum(s.size for s in self._slots)
 

@@ -257,6 +257,7 @@ class Firmware:
         if seg_index > 0:
             # Re-injection finished: free the in-transit buffer slot.
             self.nic.recv_buffers.release(tp)
+            self.nic.emit("itb_buffer_release", pid=tp.pid, seg=seg_index)
             self._admit_recv_waiter()
 
     def _firmware_of(self, host: int) -> "Firmware":

@@ -96,6 +96,9 @@ class Nic:
         self.firmware: Optional["Firmware"] = None
         # Upward delivery: set by the GM host layer.
         self.deliver_up: Optional[Callable] = None
+        # Telemetry registry, attached by repro.obs.instrument_network;
+        # when present every emit() also publishes a labeled counter.
+        self.metrics = None
 
     # ------------------------------------------------------------------
 
@@ -104,9 +107,20 @@ class Nic:
         self.firmware = firmware
 
     def emit(self, kind: str, **detail) -> None:
-        """Emit a structured trace record tagged with this NIC."""
+        """Emit a structured trace record tagged with this NIC.
+
+        When a metrics registry is attached, the emission is also
+        counted as ``nic_mcp_events_total{component=..., kind=...}``
+        so firmware events are queryable without trace post-processing.
+        """
         if self.trace is not None:
             self.trace.emit(self.sim.now, f"nic[{self.name}]", kind, **detail)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "nic_mcp_events_total", component=f"nic[{self.name}]",
+                help="firmware emit() events by kind",
+                labels={"kind": kind},
+            ).inc()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         fw = self.firmware.name if self.firmware else "none"

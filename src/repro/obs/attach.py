@@ -1,0 +1,176 @@
+"""Wire a built network's existing stat silos into one registry.
+
+Before this module, the repo's observability lived in five unconnected
+places — ``NicStats`` counters, ``FabricUsage`` channel meters, the
+structured trace, harness latency summaries, and the chrome-trace
+export.  :func:`instrument_network` registers all of them into a
+single :class:`~repro.obs.registry.MetricsRegistry` (callback-backed,
+so the hot paths keep mutating their plain attributes) and optionally
+starts a :class:`~repro.obs.sampler.Sampler` and installs a
+:class:`~repro.obs.profiler.Profiler`, returning the whole bundle as a
+:class:`Telemetry`.
+
+Metric catalog (see ``docs/OBSERVABILITY.md`` for details):
+
+* ``nic_<field>`` — one counter per ``NicStats`` field, per NIC,
+* ``nic_recv_buffer_occupancy_bytes`` / ``nic_recv_buffer_packets`` —
+  receive/ITB buffer occupancy gauges (the Fig. 8 resource),
+* ``nic_send_queue_depth`` — Send-machine work queue gauge,
+* ``nic_mcp_events_total{kind=...}`` — every firmware ``emit()``,
+* ``fabric_channel_{packets_total,busy_ns,utilization}`` — per
+  switch-to-switch channel,
+* ``fabric_{jain_fairness,max_utilization,root_concentration}`` —
+  the balance summary statistics of the instrumentation module.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.network.instrumentation import FabricUsage, attach_usage_meter
+from repro.nic.lanai import NicStats
+from repro.obs.profiler import Profiler
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sampler import Sampler
+
+if TYPE_CHECKING:  # pragma: no cover - import-cycle guard
+    from repro.core.builder import BuiltNetwork
+
+__all__ = ["Telemetry", "instrument_network"]
+
+#: Help strings for the NicStats-backed counters.
+_NIC_STAT_HELP = {
+    "packets_sent": "packets injected by this NIC as the source",
+    "packets_received": "packets fully received by this NIC",
+    "packets_forwarded": "in-transit packets re-injected (ITB hops)",
+    "packets_dropped_unknown": "packets dropped for unknown type",
+    "packets_flushed": "buffer-pool overflow flushes",
+    "bytes_sent": "wire bytes injected as the source",
+    "bytes_received": "wire bytes fully received",
+    "itb_immediate": "re-injections started by the Recv fast path",
+    "itb_pending": "re-injections deferred to the Send machine",
+    "recv_blocked_ns": "wire time stalled waiting for a buffer (ns)",
+}
+
+
+@dataclass
+class Telemetry:
+    """The telemetry bundle attached to one built network."""
+
+    registry: MetricsRegistry
+    sampler: Optional[Sampler] = None
+    profiler: Optional[Profiler] = None
+    usage: Optional[FabricUsage] = None
+
+    def stop(self) -> None:
+        """Stop sampling and detach the profiler (data is kept)."""
+        if self.sampler is not None:
+            self.sampler.stop()
+        if self.profiler is not None:
+            self.profiler.uninstall()
+
+
+def _attach_nic(registry: MetricsRegistry, nic) -> None:
+    comp = f"nic[{nic.name}]"
+    stats = nic.stats
+    for f in dataclasses.fields(NicStats):
+        registry.counter(
+            f"nic_{f.name}", component=comp,
+            help=_NIC_STAT_HELP.get(f.name, ""),
+            fn=lambda s=stats, n=f.name: getattr(s, n),
+        )
+    buffers = nic.recv_buffers
+    registry.gauge(
+        "nic_recv_buffer_occupancy_bytes", component=comp,
+        help="bytes currently held in the receive/ITB buffers",
+        fn=lambda b=buffers: b.occupancy_bytes,
+    )
+    registry.gauge(
+        "nic_recv_buffer_packets", component=comp,
+        help="packets currently held in the receive/ITB buffers",
+        fn=lambda b=buffers: b.n_packets,
+    )
+    if nic.firmware is not None:
+        registry.gauge(
+            "nic_send_queue_depth", component=comp,
+            help="descriptors waiting in the Send machine's queue",
+            fn=lambda fw=nic.firmware: len(fw._send_work),
+        )
+    # Publish future firmware emit() calls as counters too.
+    nic.metrics = registry
+
+
+def _attach_fabric(registry: MetricsRegistry,
+                   usage: FabricUsage) -> None:
+    for cu in usage.channels.values():
+        comp = f"channel[{cu.from_node}->{cu.to_node}]"
+        # Parallel cables share endpoints: the (link, direction) key
+        # goes in its own label so every channel stays distinct.
+        link = {"link": f"{cu.key[0]}:{cu.key[1]}"}
+        registry.counter(
+            "fabric_channel_packets_total", component=comp,
+            help="packets granted this switch-to-switch channel",
+            fn=lambda c=cu: c.packets, labels=link,
+        )
+        registry.gauge(
+            "fabric_channel_busy_ns", component=comp,
+            help="cumulative busy time of this channel (ns)",
+            fn=lambda c=cu: c.busy_ns, labels=link,
+        )
+        registry.gauge(
+            "fabric_channel_utilization", component=comp,
+            help="busy fraction of this channel over the observed window",
+            fn=lambda c=cu, u=usage: c.utilization(u.observed_ns),
+            labels=link,
+        )
+    registry.gauge(
+        "fabric_jain_fairness",
+        help="Jain's fairness index over channel busy times",
+        fn=usage.jain_fairness,
+    )
+    registry.gauge(
+        "fabric_max_utilization",
+        help="busiest channel's busy fraction",
+        fn=usage.max_utilization,
+    )
+    registry.gauge(
+        "fabric_root_concentration",
+        help="fraction of fabric busy time on root-adjacent channels",
+        fn=usage.root_concentration,
+    )
+
+
+def instrument_network(
+    net: "BuiltNetwork",
+    registry: Optional[MetricsRegistry] = None,
+    sample_interval_ns: Optional[float] = None,
+    profile: bool = False,
+    fabric_usage: bool = True,
+) -> Telemetry:
+    """Attach the unified telemetry stack to a built network.
+
+    Must run *before* traffic (the fabric meter wraps channel
+    resources at attach time).  Returns a :class:`Telemetry` whose
+    registry already exposes every NIC and fabric metric; when
+    ``sample_interval_ns`` is given a started
+    :class:`~repro.obs.sampler.Sampler` records gauge time series, and
+    with ``profile=True`` a :class:`~repro.obs.profiler.Profiler` is
+    installed on the engine.
+    """
+    registry = registry or MetricsRegistry()
+    for _host, nic in sorted(net.nics.items()):
+        _attach_nic(registry, nic)
+    usage: Optional[FabricUsage] = None
+    if fabric_usage:
+        usage = attach_usage_meter(net)
+        _attach_fabric(registry, usage)
+    profiler: Optional[Profiler] = None
+    if profile:
+        profiler = Profiler().install(net.sim)
+    sampler: Optional[Sampler] = None
+    if sample_interval_ns is not None:
+        sampler = Sampler(net.sim, registry, sample_interval_ns).start()
+    return Telemetry(registry=registry, sampler=sampler,
+                     profiler=profiler, usage=usage)

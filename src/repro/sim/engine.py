@@ -17,6 +17,12 @@ Processes are Python generators that yield *waitables*:
 The generator protocol means process code reads like straight-line
 firmware pseudocode, which is exactly what we need to transliterate the
 MCP state machines from the paper.
+
+Profiling: a :class:`repro.obs.profiler.Profiler` may be installed on
+a simulator (``profiler.install(sim)``); the run loops then route
+every dispatch through it, and processes self-report which one stepped
+during a dispatch, giving per-component event counts and wall-clock
+attribution with zero cost when no profiler is installed.
 """
 
 from __future__ import annotations
@@ -215,6 +221,8 @@ class Process:
         if not self.alive:
             return  # terminated between scheduling and delivery
         self._waiting_on = None
+        if self.sim.profiler is not None:
+            self.sim.profiler.attribute(self.name)
         try:
             target = self.gen.throw(exc)
         except StopIteration as stop:
@@ -226,6 +234,8 @@ class Process:
         self._wait_on(target)
 
     def _step(self, send_value: Any) -> None:
+        if self.sim.profiler is not None:
+            self.sim.profiler.attribute(self.name)
         try:
             target = self.gen.send(send_value)
         except StopIteration as stop:
@@ -246,6 +256,8 @@ class Process:
             self._step(event.value)
 
     def _throw_now(self, exc: BaseException) -> None:
+        if self.sim.profiler is not None:
+            self.sim.profiler.attribute(self.name)
         try:
             target = self.gen.throw(exc)
         except StopIteration as stop:
@@ -334,6 +346,13 @@ class Simulator:
     trace:
         Optional :class:`repro.sim.trace.Trace` receiving structured
         records from components that support tracing.
+
+    Attributes
+    ----------
+    profiler:
+        Optional :class:`repro.obs.profiler.Profiler`; when set, every
+        dispatch is routed through it (install via
+        ``Profiler().install(sim)``).
     """
 
     def __init__(self, trace: Any = None) -> None:
@@ -342,6 +361,7 @@ class Simulator:
         self._seq = 0
         self._crashed: list[tuple[Process, BaseException]] = []
         self.trace = trace
+        self.profiler: Any = None
 
     # -- time and scheduling -------------------------------------------
 
@@ -389,7 +409,10 @@ class Simulator:
                 break
             heapq.heappop(self._queue)
             self._now = time
-            callback()
+            if self.profiler is None:
+                callback()
+            else:
+                self.profiler.dispatch(callback)
             self._check_crashes()
             dispatched += 1
             if dispatched >= max_events:
@@ -415,7 +438,10 @@ class Simulator:
                 )
             time, _prio, _seq, callback = heapq.heappop(self._queue)
             self._now = time
-            callback()
+            if self.profiler is None:
+                callback()
+            else:
+                self.profiler.dispatch(callback)
             self._check_crashes()
             dispatched += 1
             if dispatched >= max_events:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.harness.fig1 import run_fig1
@@ -69,10 +71,22 @@ class TestMetrics:
         assert s.mean == 2000.0
         assert s.minimum == 1000.0 and s.maximum == 3000.0
         assert s.mean_us == 2.0
+        assert not s.empty
 
-    def test_summarize_empty(self):
+    def test_summarize_tail_percentiles(self):
+        samples = list(range(1, 1001))  # 1..1000
+        s = summarize_latencies(samples)
+        assert s.p50 <= s.p90 <= s.p99 <= s.p999 <= s.maximum
+        assert s.p90 == pytest.approx(900, abs=2)
+        assert s.p999 == pytest.approx(999, abs=2)
+
+    def test_summarize_empty_is_nan_not_zero(self):
         s = summarize_latencies([])
-        assert s.n == 0 and s.mean == 0.0
+        assert s.n == 0 and s.empty
+        # nan sentinel: an empty run must not look like a 0-ns run.
+        for value in (s.mean, s.std, s.minimum, s.p50, s.p90,
+                      s.p99, s.p999, s.maximum):
+            assert math.isnan(value)
 
     def test_saturation_point(self):
         offered = [0.01, 0.02, 0.04, 0.08]

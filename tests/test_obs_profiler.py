@@ -1,0 +1,116 @@
+"""Tests for the engine profiler hooks."""
+
+from __future__ import annotations
+
+from repro.obs.profiler import Profiler, component_kind
+from repro.sim.engine import Event, Simulator, Timeout
+
+
+def _run_workload(sim: Simulator) -> None:
+    def worker(n: int):
+        for _ in range(n):
+            yield Timeout(5.0)
+
+    def waiter(ev: Event):
+        yield ev
+
+    ev = sim.event("go")
+    sim.process(worker(3), name="send[host1]")
+    sim.process(worker(2), name="sdma[host1]")
+    sim.process(waiter(ev), name="recv[host2]")
+    sim.schedule(40.0, lambda: ev.succeed())
+    sim.run(until=100.0)
+
+
+class TestAttribution:
+    def test_component_counts_sum_to_total(self):
+        sim = Simulator()
+        prof = Profiler().install(sim)
+        _run_workload(sim)
+        assert prof.events_total > 0
+        assert sum(prof.events_by_component.values()) == prof.events_total
+
+    def test_process_names_attributed(self):
+        sim = Simulator()
+        prof = Profiler().install(sim)
+        _run_workload(sim)
+        assert "send[host1]" in prof.events_by_component
+        assert "sdma[host1]" in prof.events_by_component
+        assert "recv[host2]" in prof.events_by_component
+        # Start + 3 timeouts + StopIteration-finishing step: the exact
+        # split is engine detail, but each worker stepped >= its loop.
+        assert prof.events_by_component["send[host1]"] >= 3
+
+    def test_unattributed_dispatches_land_in_engine(self):
+        sim = Simulator()
+        prof = Profiler().install(sim)
+        sim.schedule(1.0, lambda: None)  # steps no process
+        sim.run()
+        assert prof.events_by_component.get("engine", 0) >= 1
+
+    def test_wall_time_accumulates(self):
+        sim = Simulator()
+        prof = Profiler().install(sim)
+        _run_workload(sim)
+        assert prof.wall_ns_total > 0
+        total = sum(prof.wall_ns_by_component.values())
+        assert total == prof.wall_ns_total
+
+    def test_event_counts_deterministic_across_runs(self):
+        counts = []
+        for _ in range(2):
+            sim = Simulator()
+            prof = Profiler().install(sim)
+            _run_workload(sim)
+            counts.append(dict(prof.events_by_component))
+        assert counts[0] == counts[1]
+
+
+class TestAggregation:
+    def test_by_kind_collapses_instances(self):
+        sim = Simulator()
+        prof = Profiler().install(sim)
+        _run_workload(sim)
+        kinds = prof.by_kind()
+        assert "send" in kinds and "sdma" in kinds
+        assert sum(int(e["events"]) for e in kinds.values()) == \
+            prof.events_total
+
+    def test_component_kind_helper(self):
+        assert component_kind("send[host1]") == "send"
+        assert component_kind("engine") == "engine"
+        assert component_kind("pingpong") == "pingpong"
+
+    def test_top_sorted_by_wall_time(self):
+        sim = Simulator()
+        prof = Profiler().install(sim)
+        _run_workload(sim)
+        rows = prof.top(3)
+        assert len(rows) <= 3
+        walls = [w for _c, _n, w in rows]
+        assert walls == sorted(walls, reverse=True)
+
+
+class TestLifecycle:
+    def test_uninstall_detaches(self):
+        sim = Simulator()
+        prof = Profiler().install(sim)
+        assert sim.profiler is prof
+        prof.uninstall()
+        assert sim.profiler is None
+        _run_workload(sim)  # runs fine unprofiled
+        assert prof.events_total == 0
+
+    def test_run_until_event_also_profiled(self):
+        sim = Simulator()
+        prof = Profiler().install(sim)
+        ev = sim.event("done")
+
+        def proc():
+            yield Timeout(3.0)
+            ev.succeed()
+
+        sim.process(proc(), name="p[x]")
+        sim.run_until_event(ev)
+        assert prof.events_total > 0
+        assert "p[x]" in prof.events_by_component

@@ -1,0 +1,144 @@
+"""Tests for the metrics registry primitives."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_NS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        c = Counter("packets", {"component": "nic[a]"})
+        c.inc()
+        c.inc(4)
+        assert c.value == 5.0
+
+    def test_negative_inc_rejected(self):
+        c = Counter("packets")
+        with pytest.raises(MetricError):
+            c.inc(-1)
+
+    def test_callback_backed(self):
+        box = {"n": 0}
+        c = Counter("packets", fn=lambda: box["n"])
+        box["n"] = 7
+        assert c.value == 7.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7.0
+
+    def test_callback_backed(self):
+        level = [3.5]
+        g = Gauge("occupancy", fn=lambda: level[0])
+        assert g.value == 3.5
+        level[0] = 0.0
+        assert g.value == 0.0
+
+
+class TestHistogram:
+    def test_bucket_edges_inclusive_upper(self):
+        h = Histogram("lat", buckets=(10.0, 100.0))
+        h.observe(10.0)    # exactly on the first edge -> first bucket
+        h.observe(10.5)    # second bucket
+        h.observe(1000.0)  # overflow -> +Inf bucket
+        assert h.bucket_counts == [1, 1, 1]
+        assert h.count == 3
+        assert h.sum == pytest.approx(1020.5)
+
+    def test_cumulative_counts_end_at_total(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 3.0))
+        for v in (0.5, 1.5, 2.5, 99.0):
+            h.observe(v)
+        cum = h.cumulative_counts()
+        assert cum[-1] == (math.inf, 4)
+        assert [c for _e, c in cum] == [1, 2, 3, 4]
+
+    def test_mean_and_empty_mean(self):
+        h = Histogram("lat", buckets=(1.0,))
+        assert math.isnan(h.mean)
+        h.observe(2.0)
+        h.observe(4.0)
+        assert h.mean == 3.0
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(MetricError):
+            Histogram("lat", buckets=())
+        with pytest.raises(MetricError):
+            Histogram("lat", buckets=(2.0, 1.0))
+        with pytest.raises(MetricError):
+            Histogram("lat", buckets=(1.0, math.inf))
+
+    def test_default_buckets_ascend(self):
+        assert list(DEFAULT_NS_BUCKETS) == sorted(DEFAULT_NS_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", component="nic[a]")
+        b = reg.counter("x", component="nic[a]")
+        assert a is b
+        a.inc()
+        assert reg.get("x", component="nic[a]").value == 1.0
+
+    def test_same_name_different_component_is_distinct(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", component="nic[a]")
+        b = reg.counter("x", component="nic[b]")
+        assert a is not b
+        assert len(reg) == 2
+
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x", component="nic[a]")
+        with pytest.raises(MetricError):
+            reg.gauge("x", component="nic[a]")
+        with pytest.raises(MetricError):
+            reg.histogram("x", component="nic[a]")
+
+    def test_extra_labels_distinguish(self):
+        reg = MetricsRegistry()
+        a = reg.counter("ev", component="nic[a]", labels={"kind": "inject"})
+        b = reg.counter("ev", component="nic[a]", labels={"kind": "deliver"})
+        assert a is not b
+        a.inc(3)
+        got = reg.get("ev", component="nic[a]", labels={"kind": "inject"})
+        assert got.value == 3.0
+
+    def test_histogram_rebucket_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", buckets=(1.0, 2.0))
+        with pytest.raises(MetricError):
+            reg.histogram("lat", buckets=(1.0, 5.0))
+
+    def test_collect_sorted_and_filtered(self):
+        reg = MetricsRegistry()
+        reg.gauge("b")
+        reg.counter("a")
+        reg.gauge("a", component="z")
+        names = [(m.name, m.kind) for m in reg.collect()]
+        assert names == [("a", "counter"), ("a", "gauge"), ("b", "gauge")]
+        assert all(m.kind == "gauge" for m in reg.gauges())
+        assert reg.names() == ["a", "b"]
+        assert "a" in reg and "missing" not in reg
+
+    def test_get_missing_raises(self):
+        reg = MetricsRegistry()
+        with pytest.raises(KeyError):
+            reg.get("nope")

@@ -40,7 +40,7 @@ def test_bench_apps(benchmark, scale):
     print(format_table(
         ["kernel", "up*/down* (us)", "ITB (us)", "speedup (UD/ITB)"],
         rows,
-        title=(f"EXP-M2 — application completion time,"
+        title=("EXP-M2 — application completion time,"
                f" {n_switches}-switch irregular cluster"),
     ))
 

@@ -49,7 +49,7 @@ def test_bench_balance(benchmark, scale):
         ["routing", "Jain fairness", "max channel util",
          "root-adjacent share"],
         rows,
-        title=(f"EXP-M1c — measured fabric-load balance,"
+        title=("EXP-M1c — measured fabric-load balance,"
                f" {n_switches} switches, uniform traffic"),
         float_fmt="{:.3f}",
     ))

@@ -75,7 +75,7 @@ def test_bench_itb_policy(benchmark, scale):
         [(name, r["distinct_transit_hosts"], r["itb_routes"],
           r["accepted"], r["mean_latency_us"])
          for name, r in results.items()],
-        title=(f"EXP-A6 — in-transit host selection,"
+        title=("EXP-A6 — in-transit host selection,"
                f" {n_switches} switches x 3 hosts"),
         float_fmt="{:.4f}",
     ))

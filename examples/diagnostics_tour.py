@@ -60,7 +60,7 @@ def tour_timeline_and_breakdown() -> None:
     print(format_table(
         ["component", "ns", "%"],
         breakdown.rows(),
-        title=f"one-way budget, 512 B via 1 ITB"
+        title="one-way budget, 512 B via 1 ITB"
               f" (total {breakdown.total_ns / 1000:.2f} us)",
         float_fmt="{:.1f}",
     ))

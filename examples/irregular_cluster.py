@@ -19,7 +19,7 @@ import argparse
 import itertools
 
 from repro.harness.report import format_table
-from repro.harness.throughput import build_load_network, run_throughput
+from repro.harness.throughput import run_throughput
 from repro.routing.cdg import is_deadlock_free
 from repro.routing.itb import ItbRouter
 from repro.routing.minimal import MinimalRouter
@@ -94,7 +94,7 @@ def load_sweep(n_switches: int, full: bool, seed: int) -> None:
         title=f"open-loop uniform traffic, {n_switches} switches",
         float_fmt="{:.4f}",
     ))
-    print(f"\npeak accepted throughput: up*/down*"
+    print("\npeak accepted throughput: up*/down*"
           f" {result.peak_accepted('updown'):.4f},"
           f" ITB {result.peak_accepted('itb'):.4f}"
           f"  (ratio {result.throughput_ratio:.2f}x)")

@@ -43,13 +43,13 @@ def main() -> None:
     print(f"  half round-trip latency: {via_itb.mean_us:.2f} us")
 
     overhead_ns = 2.0 * (via_itb.mean_ns - plain.mean_ns)
-    print(f"\nper-ITB overhead (half-RTT difference x 2, the paper's"
+    print("\nper-ITB overhead (half-RTT difference x 2, the paper's"
           f" protocol): {overhead_ns:.0f} ns")
     print("paper's measured value: ~1300 ns")
 
     stats = net2.total_stats()
     print(f"\nNIC counters: {int(stats['packets_forwarded'])} packets"
-          f" forwarded through the in-transit host, "
+          " forwarded through the in-transit host, "
           f"{int(stats['itb_immediate'])} via the Recv-machine fast path")
 
 

@@ -1,13 +1,18 @@
 """Command-line interface: ``python -m repro <experiment> [options]``.
 
-Subcommands regenerate individual experiments (printing the same
-tables as the benchmark suite) without going through pytest:
+Experiment subcommands are generated from the unified experiment
+registry (:mod:`repro.exp`): every registered experiment gets a
+top-level subcommand (``repro fig7``, ``repro throughput``, ...) and
+the same spelled out as ``repro run <name>``; ``repro list`` shows
+what is registered.  Each generated subcommand accepts ``--jobs N``
+(fan independent points over a process pool; results are identical to
+a serial run) and ``--save FILE`` (persist the spec-keyed result
+document).
+
+Hand-written subcommands cover everything that is not a registered
+experiment:
 
 * ``fig1`` — Figure 1 route analysis,
-* ``fig7`` — Figure 7 code-overhead series,
-* ``fig8`` — Figure 8 per-ITB overhead series,
-* ``throughput`` — EXP-M1 load sweep,
-* ``apps`` — EXP-M2 application kernels,
 * ``discover`` — run the mapper's exploration on a topology,
 * ``validate`` — measure every quick-checkable paper claim and print
   one verdict table (exit code reflects the outcome),
@@ -24,14 +29,23 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.harness.ascii_plot import line_plot
-from repro.harness.fig1 import run_fig1
+from repro.exp import Experiment, list_experiments
 from repro.harness.fig7 import DEFAULT_SIZES, run_fig7
 from repro.harness.fig8 import run_fig8
 from repro.harness.report import format_table
-from repro.harness.throughput import run_throughput
 
 __all__ = ["main"]
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for ``--jobs``: an integer >= 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _sizes(args) -> tuple[int, ...]:
@@ -40,7 +54,59 @@ def _sizes(args) -> tuple[int, ...]:
     return (16, 128, 1024, 4096)
 
 
+# ---------------------------------------------------------------------------
+# registry-generated experiment commands
+# ---------------------------------------------------------------------------
+
+
+def _make_experiment_command(exp: Experiment):
+    """The handler of one registry-generated experiment subcommand."""
+
+    def cmd(args) -> int:
+        from repro.exp import Runner
+
+        spec = exp.spec_from_args(args)
+        report = Runner().run(spec, jobs=args.jobs,
+                              save=args.save or None)
+        print(exp.render(spec, report.result, args))
+        if report.saved_to:
+            print(f"saved to {report.saved_to}")
+        return 0
+
+    return cmd
+
+
+def _add_experiment_arguments(p: argparse.ArgumentParser,
+                              exp: Experiment) -> None:
+    """Add one experiment's declared options plus the shared runner
+    options (``--jobs``, ``--save``) to a subparser."""
+    for opt in exp.cli_options:
+        p.add_argument(*opt.flags, **opt.kwargs)
+    p.add_argument("--jobs", type=_positive_int, default=1,
+                   help="process-pool width for independent points"
+                        " (results are identical to --jobs 1)")
+    p.add_argument("--save", type=str, default="",
+                   help="persist the result document to this JSON file")
+    p.set_defaults(func=_make_experiment_command(exp))
+
+
+def _cmd_list(_args) -> int:
+    print(format_table(
+        ["experiment", "description"],
+        [(exp.name, exp.title) for exp in list_experiments()],
+        title="registered experiments (repro run <name>)",
+    ))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# hand-written commands (not registry experiments)
+# ---------------------------------------------------------------------------
+
+
 def _cmd_fig1(_args) -> int:
+    from repro.harness.fig1 import run_fig1
+
     r = run_fig1()
     print(format_table(
         ["quantity", "value"],
@@ -56,97 +122,6 @@ def _cmd_fig1(_args) -> int:
              f"{r.root_cross_updown:.2f} -> {r.root_cross_itb:.2f}"),
         ],
         title="Figure 1 analysis",
-    ))
-    return 0
-
-
-def _cmd_fig7(args) -> int:
-    r = run_fig7(sizes=_sizes(args), iterations=args.iterations)
-    print(format_table(
-        ["size (B)", "orig (us)", "modified (us)", "overhead (ns)",
-         "rel (%)"],
-        [(row.size, row.original_ns / 1000, row.modified_ns / 1000,
-          row.overhead_ns, row.relative_pct) for row in r.rows],
-        title="Figure 7 — overhead of the new GM/MCP code",
-    ))
-    if args.plot:
-        print()
-        print(line_plot(
-            [row.size for row in r.rows],
-            {"original": [row.original_ns / 1000 for row in r.rows],
-             "modified": [row.modified_ns / 1000 for row in r.rows]},
-            title="half-RTT (us) vs message size (B)",
-            logx=True, xlabel="size (log)",
-        ))
-    print(f"\navg overhead {r.mean_overhead_ns:.0f} ns"
-          f" (paper ~125 ns), max {r.max_overhead_ns:.0f} ns"
-          f" (paper <= 300 ns)")
-    return 0
-
-
-def _cmd_fig8(args) -> int:
-    r = run_fig8(sizes=_sizes(args), iterations=args.iterations)
-    print(format_table(
-        ["size (B)", "UD (us)", "UD-ITB (us)", "overhead (us)", "rel (%)"],
-        [(row.size, row.ud_ns / 1000, row.ud_itb_ns / 1000,
-          row.overhead_ns / 1000, row.relative_pct) for row in r.rows],
-        title="Figure 8 — per-ITB overhead",
-    ))
-    if args.plot:
-        print()
-        print(line_plot(
-            [row.size for row in r.rows],
-            {"UD": [row.ud_ns / 1000 for row in r.rows],
-             "UD-ITB": [row.ud_itb_ns / 1000 for row in r.rows]},
-            title="half-RTT (us) vs message size (B)",
-            logx=True, xlabel="size (log)",
-        ))
-    print(f"\nper-ITB overhead {r.mean_overhead_ns / 1000:.2f} us"
-          f" (paper ~1.3 us)")
-    return 0
-
-
-def _cmd_throughput(args) -> int:
-    r = run_throughput(
-        n_switches=args.switches,
-        packet_size=args.packet_size,
-        rates=tuple(args.rates),
-        duration_ns=args.duration * 1000.0,
-        warmup_ns=args.duration * 200.0,
-        hosts_per_switch=args.hosts_per_switch,
-        topo_seed=args.seed,
-    )
-    rows = []
-    for routing in ("updown", "itb"):
-        for p in r.series(routing):
-            rows.append((routing, p.offered_bytes_per_ns_per_host,
-                         p.accepted, p.mean_latency_ns / 1000))
-    print(format_table(
-        ["routing", "offered", "accepted", "latency (us)"],
-        rows,
-        title=f"EXP-M1 — {args.switches} switches",
-        float_fmt="{:.4f}",
-    ))
-    print(f"\npeak ratio ITB/UD: {r.throughput_ratio:.2f}x")
-    return 0
-
-
-def _cmd_apps(args) -> int:
-    from repro.harness.apps import run_app_comparison
-
-    results = run_app_comparison(
-        n_switches=args.switches, iterations=args.iterations,
-        message_size=args.packet_size,
-        hosts_per_switch=args.hosts_per_switch, topo_seed=args.seed,
-    )
-    by = {(r.kernel, r.routing): r for r in results}
-    kernels = sorted({r.kernel for r in results})
-    print(format_table(
-        ["kernel", "UD (us)", "ITB (us)", "speedup"],
-        [(k, by[(k, "updown")].completion_us, by[(k, "itb")].completion_us,
-          by[(k, "updown")].completion_ns / by[(k, "itb")].completion_ns)
-         for k in kernels],
-        title=f"EXP-M2 — application kernels, {args.switches} switches",
     ))
     return 0
 
@@ -183,11 +158,11 @@ def _cmd_all(args) -> int:
         )
     f7, f8 = results["fig7"], results["fig8"]
     print(f"fig7: avg overhead {f7.mean_overhead_ns:.0f} ns"
-          f" (paper ~125 ns)")
+          " (paper ~125 ns)")
     print(f"fig8: per-ITB overhead {f8.mean_overhead_ns / 1000:.2f} us"
-          f" (paper ~1.3 us)")
+          " (paper ~1.3 us)")
     if args.throughput:
-        print(f"throughput: peak ratio"
+        print("throughput: peak ratio"
               f" {results['throughput'].throughput_ratio:.2f}x")
     if args.save:
         path = save_results(args.save, results,
@@ -201,7 +176,7 @@ def _cmd_obs(args) -> int:
     from repro.obs.run import export_all, run_obs
 
     if args.interval <= 0:
-        print(f"repro obs: error: --interval must be positive: "
+        print("repro obs: error: --interval must be positive: "
               f"{args.interval}", file=sys.stderr)
         return 2
     r = run_obs(
@@ -283,6 +258,11 @@ def _cmd_discover(args) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -291,33 +271,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("fig1", help="Figure 1 route analysis")
+    p = sub.add_parser("fig1", help="Figure 1 route analysis")
+    p.set_defaults(func=_cmd_fig1)
 
-    for name, help_text in (("fig7", "Figure 7 code overhead"),
-                            ("fig8", "Figure 8 per-ITB overhead")):
-        p = sub.add_parser(name, help=help_text)
-        p.add_argument("--full", action="store_true",
-                       help="full gm_allsize size ladder")
-        p.add_argument("--iterations", type=int, default=20)
-        p.add_argument("--plot", action="store_true",
-                       help="ASCII chart of the series")
+    # One subcommand per registered experiment, at the top level (the
+    # legacy spellings: ``repro fig7``, ``repro throughput``, ...).
+    for exp in list_experiments():
+        p = sub.add_parser(exp.name, help=exp.title)
+        _add_experiment_arguments(p, exp)
 
-    p = sub.add_parser("throughput", help="EXP-M1 load sweep")
-    p.add_argument("--switches", type=int, default=16)
-    p.add_argument("--packet-size", type=int, default=512)
-    p.add_argument("--rates", type=float, nargs="+",
-                   default=[0.02, 0.06, 0.12])
-    p.add_argument("--duration", type=float, default=150.0,
-                   help="measurement window (us)")
-    p.add_argument("--hosts-per-switch", type=int, default=2)
-    p.add_argument("--seed", type=int, default=5)
+    # ... and the same set under ``repro run <name>``.  An unknown
+    # name is an argparse choice error: exit code 2 plus the list of
+    # registered names, never a traceback.
+    p_run = sub.add_parser("run", help="run a registered experiment"
+                                       " by name")
+    run_sub = p_run.add_subparsers(dest="experiment", required=True,
+                                   metavar="experiment")
+    for exp in list_experiments():
+        p = run_sub.add_parser(exp.name, help=exp.title)
+        _add_experiment_arguments(p, exp)
 
-    p = sub.add_parser("apps", help="EXP-M2 application kernels")
-    p.add_argument("--switches", type=int, default=16)
-    p.add_argument("--iterations", type=int, default=3)
-    p.add_argument("--packet-size", type=int, default=1024)
-    p.add_argument("--hosts-per-switch", type=int, default=2)
-    p.add_argument("--seed", type=int, default=11)
+    p = sub.add_parser("list", help="list registered experiments")
+    p.set_defaults(func=_cmd_list)
 
     p = sub.add_parser("all", help="regenerate figure results, optionally"
                                    " persisting to JSON")
@@ -326,11 +301,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--throughput", action="store_true")
     p.add_argument("--switches", type=int, default=16)
     p.add_argument("--save", type=str, default="")
+    p.set_defaults(func=_cmd_all)
 
     p = sub.add_parser("validate", help="measure and judge every paper claim")
     p.add_argument("--iterations", type=int, default=20)
     p.add_argument("--throughput", action="store_true",
                    help="include the 64-switch EXP-M1 ratio (minutes)")
+    p.set_defaults(func=_cmd_validate)
 
     p = sub.add_parser("obs", help="instrumented workload: unified"
                                    " telemetry dump")
@@ -355,6 +332,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max telemetry table rows printed")
     p.add_argument("--out", type=str, default="",
                    help="directory for the exporter dumps")
+    p.set_defaults(func=_cmd_obs)
 
     p = sub.add_parser("discover", help="run the mapper's exploration")
     p.add_argument("--topology", choices=("fig6", "random"),
@@ -362,27 +340,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--switches", type=int, default=8)
     p.add_argument("--hosts-per-switch", type=int, default=1)
     p.add_argument("--seed", type=int, default=5)
+    p.set_defaults(func=_cmd_discover)
 
     return parser
 
 
-_COMMANDS = {
-    "fig1": _cmd_fig1,
-    "fig7": _cmd_fig7,
-    "fig8": _cmd_fig8,
-    "throughput": _cmd_throughput,
-    "apps": _cmd_apps,
-    "discover": _cmd_discover,
-    "obs": _cmd_obs,
-    "validate": _cmd_validate,
-    "all": _cmd_all,
-}
-
-
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Parse ``argv`` and run the selected experiment command."""
+    """Parse ``argv`` and run the selected command."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    return args.func(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

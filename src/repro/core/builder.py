@@ -7,7 +7,7 @@ the object the examples, tests, and experiment harness all drive.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Union
+from typing import TYPE_CHECKING, Mapping, Optional, Union
 
 from repro.core.config import FirmwareKind, NetworkConfig, RoutingKind
 from repro.core.timings import Timings
@@ -24,6 +24,9 @@ from repro.sim.engine import Simulator
 from repro.sim.trace import Trace
 from repro.topology.generators import fig1_topology, fig6_testbed
 from repro.topology.graph import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - import-cycle guard
+    from repro.routing.cache import RouteCache
 
 __all__ = ["BuiltNetwork", "build_network"]
 
@@ -128,6 +131,7 @@ def build_network(
     firmware: Optional[Union[str, FirmwareKind]] = None,
     routing: Optional[Union[str, RoutingKind]] = None,
     timings: Optional[Timings] = None,
+    route_cache: Optional["RouteCache"] = None,
 ) -> BuiltNetwork:
     """Build a complete simulated installation.
 
@@ -141,6 +145,11 @@ def build_network(
     route_overrides:
         Hand-built routes for specific host pairs, stamped over the
         mapper output.
+    route_cache:
+        Optional :class:`~repro.routing.cache.RouteCache`: the mapper
+        serves the all-pairs route tables from it instead of
+        recomputing them per build (the experiment runner passes a
+        shared cache so repeated points pay the route cost once).
     """
     if config is None:
         config = NetworkConfig()
@@ -183,7 +192,7 @@ def build_network(
 
     orientation = run_mapper(
         topo, nics, routing=config.routing.value,
-        overrides=route_overrides, root=config.root,
+        overrides=route_overrides, root=config.root, cache=route_cache,
     )
     return BuiltNetwork(
         sim=sim, topo=topo, fabric=fabric, nics=nics, gm_hosts=gm_hosts,

@@ -73,6 +73,6 @@ class NetworkConfig:
         self.routing = RoutingKind(self.routing)
         if self.recv_buffer_kind not in ("fixed", "pool"):
             raise ValueError(
-                f"recv_buffer_kind must be 'fixed' or 'pool',"
+                "recv_buffer_kind must be 'fixed' or 'pool',"
                 f" got {self.recv_buffer_kind!r}"
             )

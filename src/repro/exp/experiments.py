@@ -1,0 +1,636 @@
+"""Built-in experiment definitions.
+
+Each class below maps one of the repo's experiments onto the unified
+pipeline: it declares the independent measurement points of a spec,
+delegates each point to the picklable ``measure_*`` helper in its
+harness module, and reassembles the ordered results into the same
+result object the harness has always returned.  The CLI hooks
+reproduce the legacy subcommand options and report tables, so
+``repro run fig7`` prints exactly what ``repro fig7`` always has.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.exp.registry import CliOption, Experiment, register_experiment
+from repro.exp.spec import ExperimentSpec
+from repro.topology.graph import Topology
+
+__all__ = [
+    "AblationBufpoolExperiment",
+    "AblationLoadExperiment",
+    "AblationTimingExperiment",
+    "AppsExperiment",
+    "Fig7Experiment",
+    "Fig8Experiment",
+    "QUICK_SIZES",
+    "RootStudyExperiment",
+    "ThroughputExperiment",
+]
+
+#: The abbreviated ladder the CLI uses without ``--full``.
+QUICK_SIZES: tuple[int, ...] = (16, 128, 1024, 4096)
+
+
+def _fig6_topology() -> Topology:
+    from repro.topology.generators import fig6_testbed
+
+    topo, _roles = fig6_testbed()
+    return topo
+
+
+def _random_topology(spec: ExperimentSpec) -> Topology:
+    from repro.topology.generators import random_irregular
+
+    return random_irregular(
+        spec.n_switches, seed=spec.topo_seed,
+        hosts_per_switch=spec.hosts_per_switch,
+    )
+
+
+def _sizes_from_args(args: Any) -> tuple[int, ...]:
+    from repro.harness.fig7 import DEFAULT_SIZES
+
+    return DEFAULT_SIZES if args.full else QUICK_SIZES
+
+
+_LADDER_OPTIONS = (
+    CliOption.make("--full", action="store_true",
+                   help="full gm_allsize size ladder"),
+    CliOption.make("--iterations", type=int, default=20),
+    CliOption.make("--plot", action="store_true",
+                   help="ASCII chart of the series"),
+)
+
+
+@register_experiment("fig7", "Figure 7 code overhead")
+class Fig7Experiment(Experiment):
+    """Half-RTT ladder, original vs ITB-modified MCP (paper Fig. 7)."""
+
+    cli_options = _LADDER_OPTIONS
+
+    def default_spec(self) -> ExperimentSpec:
+        from repro.harness.fig7 import DEFAULT_SIZES
+
+        return ExperimentSpec(experiment="fig7", sizes=DEFAULT_SIZES)
+
+    def points(self, spec: ExperimentSpec) -> list[dict]:
+        return [{"size": size} for size in spec.sizes]
+
+    def measure(self, spec: ExperimentSpec, point: dict, ctx: Any) -> Any:
+        from repro.harness.fig7 import measure_fig7_point
+
+        return measure_fig7_point(point["size"], spec.iterations,
+                                  spec.timings, spec.seed, build=ctx.build)
+
+    def summarize(self, spec: ExperimentSpec, results: Sequence[Any]) -> Any:
+        from repro.harness.fig7 import Fig7Result
+
+        return Fig7Result(rows=list(results), iterations=spec.iterations)
+
+    def route_requirements(
+        self, spec: ExperimentSpec
+    ) -> Iterable[tuple[Topology, str, Optional[int]]]:
+        yield (_fig6_topology(), "updown", None)
+
+    def spec_from_args(self, args: Any) -> ExperimentSpec:
+        return self.default_spec().replace(
+            sizes=_sizes_from_args(args), iterations=args.iterations,
+        )
+
+    def render(self, spec: ExperimentSpec, result: Any, args: Any) -> str:
+        from repro.harness.ascii_plot import line_plot
+        from repro.harness.report import format_table
+
+        out = [format_table(
+            ["size (B)", "orig (us)", "modified (us)", "overhead (ns)",
+             "rel (%)"],
+            [(row.size, row.original_ns / 1000, row.modified_ns / 1000,
+              row.overhead_ns, row.relative_pct) for row in result.rows],
+            title="Figure 7 — overhead of the new GM/MCP code",
+        )]
+        if getattr(args, "plot", False):
+            out.append("")
+            out.append(line_plot(
+                [row.size for row in result.rows],
+                {"original": [row.original_ns / 1000 for row in result.rows],
+                 "modified": [row.modified_ns / 1000 for row in result.rows]},
+                title="half-RTT (us) vs message size (B)",
+                logx=True, xlabel="size (log)",
+            ))
+        out.append(f"\navg overhead {result.mean_overhead_ns:.0f} ns"
+                   f" (paper ~125 ns), max {result.max_overhead_ns:.0f} ns"
+                   " (paper <= 300 ns)")
+        return "\n".join(out)
+
+
+@register_experiment("fig8", "Figure 8 per-ITB overhead")
+class Fig8Experiment(Experiment):
+    """Half-RTT ladder over the 5-switch paths, UD vs UD-ITB (Fig. 8)."""
+
+    cli_options = _LADDER_OPTIONS
+
+    def default_spec(self) -> ExperimentSpec:
+        from repro.harness.fig7 import DEFAULT_SIZES
+
+        return ExperimentSpec(experiment="fig8", sizes=DEFAULT_SIZES)
+
+    def points(self, spec: ExperimentSpec) -> list[dict]:
+        return [{"size": size} for size in spec.sizes]
+
+    def measure(self, spec: ExperimentSpec, point: dict, ctx: Any) -> Any:
+        from repro.harness.fig8 import measure_fig8_point
+
+        return measure_fig8_point(point["size"], spec.iterations,
+                                  spec.timings, spec.seed, build=ctx.build)
+
+    def summarize(self, spec: ExperimentSpec, results: Sequence[Any]) -> Any:
+        from repro.harness.fig8 import Fig8Result
+
+        return Fig8Result(rows=list(results), iterations=spec.iterations)
+
+    def route_requirements(
+        self, spec: ExperimentSpec
+    ) -> Iterable[tuple[Topology, str, Optional[int]]]:
+        yield (_fig6_topology(), "updown", None)
+
+    def spec_from_args(self, args: Any) -> ExperimentSpec:
+        return self.default_spec().replace(
+            sizes=_sizes_from_args(args), iterations=args.iterations,
+        )
+
+    def render(self, spec: ExperimentSpec, result: Any, args: Any) -> str:
+        from repro.harness.ascii_plot import line_plot
+        from repro.harness.report import format_table
+
+        out = [format_table(
+            ["size (B)", "UD (us)", "UD-ITB (us)", "overhead (us)",
+             "rel (%)"],
+            [(row.size, row.ud_ns / 1000, row.ud_itb_ns / 1000,
+              row.overhead_ns / 1000, row.relative_pct)
+             for row in result.rows],
+            title="Figure 8 — per-ITB overhead",
+        )]
+        if getattr(args, "plot", False):
+            out.append("")
+            out.append(line_plot(
+                [row.size for row in result.rows],
+                {"UD": [row.ud_ns / 1000 for row in result.rows],
+                 "UD-ITB": [row.ud_itb_ns / 1000 for row in result.rows]},
+                title="half-RTT (us) vs message size (B)",
+                logx=True, xlabel="size (log)",
+            ))
+        out.append(f"\nper-ITB overhead {result.mean_overhead_ns / 1000:.2f}"
+                   " us (paper ~1.3 us)")
+        return "\n".join(out)
+
+
+@register_experiment("throughput", "EXP-M1 load sweep")
+class ThroughputExperiment(Experiment):
+    """Accepted throughput / latency vs offered load, UD vs ITB routing."""
+
+    cli_options = (
+        CliOption.make("--switches", type=int, default=16),
+        CliOption.make("--packet-size", type=int, default=512),
+        CliOption.make("--rates", type=float, nargs="+",
+                       default=[0.02, 0.06, 0.12]),
+        CliOption.make("--duration", type=float, default=150.0,
+                       help="measurement window (us)"),
+        CliOption.make("--hosts-per-switch", type=int, default=2),
+        CliOption.make("--seed", type=int, default=5),
+    )
+
+    def default_spec(self) -> ExperimentSpec:
+        return ExperimentSpec(
+            experiment="throughput",
+            rates=(0.005, 0.01, 0.02, 0.04, 0.06, 0.08, 0.10),
+        )
+
+    def points(self, spec: ExperimentSpec) -> list[dict]:
+        return [{"routing": routing, "rate": rate}
+                for routing in spec.routings for rate in spec.rates]
+
+    def measure(self, spec: ExperimentSpec, point: dict, ctx: Any) -> Any:
+        from repro.harness.throughput import (ThroughputPoint,
+                                              measure_load_point)
+
+        stats = measure_load_point(
+            routing=point["routing"],
+            rate=point["rate"],
+            n_switches=spec.n_switches,
+            packet_size=spec.packet_size,
+            duration_ns=spec.duration_ns,
+            warmup_ns=spec.warmup_ns,
+            topo_seed=spec.topo_seed,
+            traffic_seed=spec.traffic_seed,
+            hosts_per_switch=spec.hosts_per_switch,
+            pattern_factory=spec.params.get("pattern_factory"),
+            timings=spec.timings,
+            build=ctx.build,
+        )
+        return ThroughputPoint(
+            routing=point["routing"],
+            offered_bytes_per_ns_per_host=point["rate"],
+            stats=stats,
+        )
+
+    def summarize(self, spec: ExperimentSpec, results: Sequence[Any]) -> Any:
+        from repro.harness.throughput import ThroughputResult
+
+        return ThroughputResult(
+            n_switches=spec.n_switches, packet_size=spec.packet_size,
+            seed=spec.topo_seed, points=list(results),
+        )
+
+    def route_requirements(
+        self, spec: ExperimentSpec
+    ) -> Iterable[tuple[Topology, str, Optional[int]]]:
+        topo = _random_topology(spec)
+        for routing in spec.routings:
+            yield (topo, routing, None)
+
+    def spec_from_args(self, args: Any) -> ExperimentSpec:
+        return self.default_spec().replace(
+            n_switches=args.switches,
+            packet_size=args.packet_size,
+            rates=tuple(args.rates),
+            duration_ns=args.duration * 1000.0,
+            warmup_ns=args.duration * 200.0,
+            hosts_per_switch=args.hosts_per_switch,
+            topo_seed=args.seed,
+        )
+
+    def render(self, spec: ExperimentSpec, result: Any, args: Any) -> str:
+        from repro.harness.report import format_table
+
+        rows = []
+        for routing in ("updown", "itb"):
+            for p in result.series(routing):
+                rows.append((routing, p.offered_bytes_per_ns_per_host,
+                             p.accepted, p.mean_latency_ns / 1000))
+        table = format_table(
+            ["routing", "offered", "accepted", "latency (us)"],
+            rows,
+            title=f"EXP-M1 — {spec.n_switches} switches",
+            float_fmt="{:.4f}",
+        )
+        return (f"{table}\n\npeak ratio ITB/UD:"
+                f" {result.throughput_ratio:.2f}x")
+
+
+@register_experiment("apps", "EXP-M2 application kernels")
+class AppsExperiment(Experiment):
+    """Closed-loop kernel completion time, UD vs ITB routing."""
+
+    cli_options = (
+        CliOption.make("--switches", type=int, default=16),
+        CliOption.make("--iterations", type=int, default=3),
+        CliOption.make("--packet-size", type=int, default=1024),
+        CliOption.make("--hosts-per-switch", type=int, default=2),
+        CliOption.make("--seed", type=int, default=11),
+    )
+
+    def default_spec(self) -> ExperimentSpec:
+        return ExperimentSpec(
+            experiment="apps",
+            kernels=("all-to-all", "ring", "random-pairs"),
+            iterations=3,
+            message_size=1024,
+            hosts_per_switch=2,
+            seed=13,
+        )
+
+    def points(self, spec: ExperimentSpec) -> list[dict]:
+        return [{"kernel": kernel, "routing": routing}
+                for kernel in spec.kernels
+                for routing in ("updown", "itb")]
+
+    def measure(self, spec: ExperimentSpec, point: dict, ctx: Any) -> Any:
+        from repro.harness.apps import measure_app_point
+
+        return measure_app_point(
+            kernel=point["kernel"],
+            routing=point["routing"],
+            n_switches=spec.n_switches,
+            iterations=spec.iterations,
+            message_size=spec.message_size,
+            hosts_per_switch=spec.hosts_per_switch,
+            topo_seed=spec.topo_seed,
+            seed=spec.seed,
+            build=ctx.build,
+        )
+
+    def summarize(self, spec: ExperimentSpec, results: Sequence[Any]) -> Any:
+        from repro.harness.apps import AppsResult
+
+        return AppsResult(results=list(results))
+
+    def route_requirements(
+        self, spec: ExperimentSpec
+    ) -> Iterable[tuple[Topology, str, Optional[int]]]:
+        topo = _random_topology(spec)
+        yield (topo, "updown", None)
+        yield (topo, "itb", None)
+
+    def spec_from_args(self, args: Any) -> ExperimentSpec:
+        return self.default_spec().replace(
+            n_switches=args.switches,
+            iterations=args.iterations,
+            message_size=args.packet_size,
+            hosts_per_switch=args.hosts_per_switch,
+            topo_seed=args.seed,
+        )
+
+    def render(self, spec: ExperimentSpec, result: Any, args: Any) -> str:
+        from repro.harness.report import format_table
+
+        return format_table(
+            ["kernel", "UD (us)", "ITB (us)", "speedup"],
+            [(k, result.get(k, "updown").completion_us,
+              result.get(k, "itb").completion_us,
+              result.speedup(k)) for k in result.kernels()],
+            title="EXP-M2 — application kernels,"
+                  f" {spec.n_switches} switches",
+        )
+
+
+@register_experiment("root-study", "spanning-tree root sensitivity")
+class RootStudyExperiment(Experiment):
+    """Route quality under optimal vs anti-optimal BFS roots (EXP-A5)."""
+
+    cli_options = (
+        CliOption.make("--switches", type=int, default=16),
+        CliOption.make("--seed", type=int, default=33),
+        CliOption.make("--hosts-per-switch", type=int, default=1),
+        CliOption.make("--switch-links", type=int, default=3),
+    )
+
+    DEFAULT_ROOTS = (("optimal", "choose"), ("anti-optimal", "worst"))
+
+    def default_spec(self) -> ExperimentSpec:
+        return ExperimentSpec(
+            experiment="root-study", topo_seed=33,
+            params={"roots": [list(r) for r in self.DEFAULT_ROOTS]},
+        )
+
+    def _roots(self, spec: ExperimentSpec) -> list[tuple[str, str]]:
+        roots = spec.params.get("roots") or [list(r)
+                                             for r in self.DEFAULT_ROOTS]
+        return [(label, which) for label, which in roots]
+
+    def points(self, spec: ExperimentSpec) -> list[dict]:
+        return [{"label": label, "which": which}
+                for label, which in self._roots(spec)]
+
+    def measure(self, spec: ExperimentSpec, point: dict, ctx: Any) -> Any:
+        from repro.harness.root_study import measure_root_point
+
+        return measure_root_point(
+            label=point["label"],
+            which=point["which"],
+            n_switches=spec.n_switches,
+            topo_seed=spec.topo_seed,
+            hosts_per_switch=spec.hosts_per_switch,
+            switch_links=spec.switch_links,
+        )
+
+    def summarize(self, spec: ExperimentSpec, results: Sequence[Any]) -> Any:
+        from repro.harness.root_study import RootStudyResult
+
+        return RootStudyResult(rows=list(results))
+
+    def spec_from_args(self, args: Any) -> ExperimentSpec:
+        return self.default_spec().replace(
+            n_switches=args.switches,
+            topo_seed=args.seed,
+            hosts_per_switch=args.hosts_per_switch,
+            switch_links=args.switch_links,
+        )
+
+    def render(self, spec: ExperimentSpec, result: Any, args: Any) -> str:
+        from repro.harness.report import format_table
+
+        return format_table(
+            ["root", "avg UD hops", "avg ITB hops", "avg minimal",
+             "UD stretch", "ITB pairs"],
+            [(f"{row.root_label} (sw {row.root})", row.avg_updown_hops,
+              row.avg_itb_hops, row.avg_minimal_hops, row.updown_stretch,
+              f"{row.pairs_with_itbs}/{row.n_pairs}")
+             for row in result.rows],
+            title=f"EXP-A5 — root placement, {spec.n_switches} switches",
+        )
+
+
+@register_experiment("ablation-load", "marginal ITB overhead under load")
+class AblationLoadExperiment(Experiment):
+    """Per-ITB overhead with a busy re-injection port (EXP-A1)."""
+
+    cli_options = (
+        CliOption.make("--size", type=int, default=256),
+        CliOption.make("--iterations", type=int, default=40),
+        CliOption.make("--background-gap", type=float, default=9_000.0,
+                       help="background inter-packet gap (ns)"),
+    )
+
+    def default_spec(self) -> ExperimentSpec:
+        return ExperimentSpec(
+            experiment="ablation-load", sizes=(256,), iterations=40,
+            params={"background_gap_ns": 9_000.0},
+        )
+
+    def _size(self, spec: ExperimentSpec) -> int:
+        return spec.sizes[0] if spec.sizes else 256
+
+    def points(self, spec: ExperimentSpec) -> list[dict]:
+        return [{"mode": "unloaded"},
+                {"mode": "loaded", "route": "ud5"},
+                {"mode": "loaded", "route": "itb5"}]
+
+    def measure(self, spec: ExperimentSpec, point: dict, ctx: Any) -> Any:
+        from repro.harness.ablations import measure_loaded_half_rtt
+        from repro.harness.fig8 import measure_fig8_point
+
+        size = self._size(spec)
+        if point["mode"] == "unloaded":
+            return measure_fig8_point(size, spec.iterations, spec.timings,
+                                      spec.seed, build=ctx.build)
+        gap = spec.params.get("background_gap_ns", 9_000.0)
+        return measure_loaded_half_rtt(
+            point["route"], size, spec.iterations, gap, spec.seed,
+            build=ctx.build,
+        )
+
+    def summarize(self, spec: ExperimentSpec, results: Sequence[Any]) -> Any:
+        from repro.harness.ablations import AblationLoadResult
+
+        unloaded_row, ud, ud_itb = results
+        return AblationLoadResult(
+            size=self._size(spec),
+            overhead_unloaded_ns=unloaded_row.overhead_ns,
+            overhead_loaded_ns=2.0 * (ud_itb - ud),
+        )
+
+    def route_requirements(
+        self, spec: ExperimentSpec
+    ) -> Iterable[tuple[Topology, str, Optional[int]]]:
+        yield (_fig6_topology(), "updown", None)
+
+    def spec_from_args(self, args: Any) -> ExperimentSpec:
+        return self.default_spec().replace(
+            sizes=(args.size,), iterations=args.iterations,
+            params={"background_gap_ns": args.background_gap},
+        )
+
+    def render(self, spec: ExperimentSpec, result: Any, args: Any) -> str:
+        from repro.harness.report import format_table
+
+        return format_table(
+            ["quantity", "value"],
+            [
+                ("message size (B)", result.size),
+                ("overhead unloaded (ns)",
+                 f"{result.overhead_unloaded_ns:.0f}"),
+                ("overhead loaded (ns)",
+                 f"{result.overhead_loaded_ns:.0f}"),
+                ("marginal fraction",
+                 f"{result.marginal_fraction:.2f}"),
+            ],
+            title="EXP-A1 — marginal ITB overhead under load",
+        )
+
+
+@register_experiment("ablation-bufpool",
+                     "fixed buffers vs circular buffer pool")
+class AblationBufpoolExperiment(Experiment):
+    """Burst behaviour of the in-transit buffering schemes (EXP-A2)."""
+
+    cli_options = (
+        CliOption.make("--senders", type=int, default=4),
+        CliOption.make("--packets-per-sender", type=int, default=30),
+        CliOption.make("--packet-size", type=int, default=1024),
+        CliOption.make("--pool-bytes", type=int, default=8 * 1024),
+    )
+
+    def default_spec(self) -> ExperimentSpec:
+        return ExperimentSpec(
+            experiment="ablation-bufpool", packet_size=1024,
+            params={"n_senders": 4, "packets_per_sender": 30,
+                    "pool_bytes": 8 * 1024},
+        )
+
+    def points(self, spec: ExperimentSpec) -> list[dict]:
+        return [{"kind": "fixed"}, {"kind": "pool"}]
+
+    def measure(self, spec: ExperimentSpec, point: dict, ctx: Any) -> Any:
+        from repro.harness.ablations import measure_buffer_scheme
+
+        return measure_buffer_scheme(
+            kind=point["kind"],
+            n_senders=spec.params.get("n_senders", 4),
+            packets_per_sender=spec.params.get("packets_per_sender", 30),
+            packet_size=spec.packet_size,
+            pool_bytes=spec.params.get("pool_bytes", 8 * 1024),
+            seed=spec.seed,
+            build=ctx.build,
+        )
+
+    def summarize(self, spec: ExperimentSpec, results: Sequence[Any]) -> Any:
+        from repro.harness.ablations import BufferPoolStudyResult
+
+        return BufferPoolStudyResult(results=list(results))
+
+    def spec_from_args(self, args: Any) -> ExperimentSpec:
+        return self.default_spec().replace(
+            packet_size=args.packet_size,
+            params={"n_senders": args.senders,
+                    "packets_per_sender": args.packets_per_sender,
+                    "pool_bytes": args.pool_bytes},
+        )
+
+    def render(self, spec: ExperimentSpec, result: Any, args: Any) -> str:
+        from repro.harness.report import format_table
+
+        return format_table(
+            ["scheme", "delivered", "offered", "flushed",
+             "recv blocked (us)", "mean latency (us)"],
+            [(r.kind, r.delivered, r.offered, r.flushed,
+              r.recv_blocked_ns / 1000, r.mean_latency_ns / 1000)
+             for r in result.results],
+            title="EXP-A2 — in-transit buffering schemes",
+        )
+
+
+@register_experiment("ablation-timing", "ITB firmware cost sweep")
+class AblationTimingExperiment(Experiment):
+    """Per-ITB overhead across firmware cost regimes (EXP-A3)."""
+
+    cli_options = (
+        CliOption.make("--size", type=int, default=64),
+        CliOption.make("--iterations", type=int, default=30),
+    )
+
+    def default_spec(self) -> ExperimentSpec:
+        return ExperimentSpec(
+            experiment="ablation-timing", sizes=(64,), iterations=30,
+            params={"regimes": [list(r) for r in self._default_regimes()]},
+        )
+
+    @staticmethod
+    def _default_regimes() -> tuple[tuple[str, int, int], ...]:
+        from repro.core.timings import Timings
+
+        base = Timings()
+        return (
+            ("simulation-assumption [2,3]", 18, 13),
+            ("gm-implementation (paper)", base.itb_early_recv_cycles,
+             base.itb_program_dma_cycles),
+            ("hardware-assisted", 6, 6),
+        )
+
+    def _regimes(self, spec: ExperimentSpec) -> list[tuple[str, int, int]]:
+        regimes = (spec.params.get("regimes")
+                   or [list(r) for r in self._default_regimes()])
+        return [(label, int(early), int(prog))
+                for label, early, prog in regimes]
+
+    def points(self, spec: ExperimentSpec) -> list[dict]:
+        return [{"label": label, "early": early, "prog": prog}
+                for label, early, prog in self._regimes(spec)]
+
+    def measure(self, spec: ExperimentSpec, point: dict, ctx: Any) -> Any:
+        from repro.harness.ablations import measure_timing_regime
+
+        size = spec.sizes[0] if spec.sizes else 64
+        return measure_timing_regime(
+            label=point["label"], early=point["early"], prog=point["prog"],
+            size=size, iterations=spec.iterations, seed=spec.seed,
+            build=ctx.build,
+        )
+
+    def summarize(self, spec: ExperimentSpec, results: Sequence[Any]) -> Any:
+        from repro.harness.ablations import TimingSweepResult
+
+        return TimingSweepResult(rows=list(results))
+
+    def route_requirements(
+        self, spec: ExperimentSpec
+    ) -> Iterable[tuple[Topology, str, Optional[int]]]:
+        yield (_fig6_topology(), "updown", None)
+
+    def spec_from_args(self, args: Any) -> ExperimentSpec:
+        return self.default_spec().replace(
+            sizes=(args.size,), iterations=args.iterations,
+        )
+
+    def render(self, spec: ExperimentSpec, result: Any, args: Any) -> str:
+        from repro.harness.report import format_table
+
+        return format_table(
+            ["regime", "detect cyc", "DMA cyc", "fw cost (ns)",
+             "overhead (us)"],
+            [(row.label, row.early_recv_cycles, row.program_dma_cycles,
+              f"{row.firmware_cost_ns:.0f}",
+              row.overhead_ns / 1000) for row in result.rows],
+            title="EXP-A3 — firmware cost sweep",
+        )

@@ -9,7 +9,7 @@ experiment arranges for "only one ITB in the round trip".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np

@@ -39,7 +39,6 @@ if TYPE_CHECKING:  # pragma: no cover - import-cycle guard
     from repro.core.builder import BuiltNetwork
 from repro.mcp.packet_format import TYPE_MAPPING
 from repro.routing.routes import ItbRoute, SourceRoute
-from repro.sim.engine import Timeout
 
 __all__ = ["DiscoveredMap", "DiscoveryError", "discover_network"]
 

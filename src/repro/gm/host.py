@@ -16,11 +16,11 @@ Models the host-software half of GM:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Optional
 
 import numpy as np
 
-from repro.mcp.firmware import Firmware, TransitPacket
+from repro.mcp.firmware import TransitPacket
 from repro.mcp.packet_format import TYPE_GM
 from repro.nic.lanai import Nic
 from repro.routing.routes import ItbRoute

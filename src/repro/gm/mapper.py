@@ -10,7 +10,7 @@ this module provides) is the *routing policy* and the stamped tables.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Union
+from typing import TYPE_CHECKING, Mapping, Optional, Union
 
 from repro.nic.lanai import Nic
 from repro.routing.itb import ItbRouter
@@ -19,6 +19,9 @@ from repro.routing.spanning_tree import UpDownOrientation, build_orientation
 from repro.routing.tables import build_route_tables
 from repro.routing.updown import UpDownRouter
 from repro.topology.graph import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - import-cycle guard
+    from repro.routing.cache import RouteCache
 
 __all__ = ["run_mapper"]
 
@@ -31,6 +34,7 @@ def run_mapper(
     overrides: Optional[Mapping[tuple[int, int],
                                 Union[SourceRoute, ItbRoute]]] = None,
     root: Optional[int] = None,
+    cache: Optional["RouteCache"] = None,
 ) -> UpDownOrientation:
     """Compute and stamp route tables into every NIC.
 
@@ -44,10 +48,25 @@ def run_mapper(
         output, so the harness overrides exactly those pairs.
     root:
         Optional spanning-tree root (defaults to min-eccentricity).
+    cache:
+        Optional :class:`~repro.routing.cache.RouteCache`; when given
+        (and no explicit ``orientation`` is forced) the all-pairs
+        route computation is served from — and recorded into — the
+        cache, so repeated builds of structurally identical networks
+        stop recomputing the spanning tree and routes.
 
     Returns the orientation used (shared by both routings so they agree
     on link directions).
     """
+    if cache is not None and orientation is None:
+        orientation, tables = cache.tables_for(topo, routing, root=root)
+        if overrides:
+            for (s, d), route in overrides.items():
+                tables[s].install(d, route)
+        for host in sorted(nics):
+            nics[host].route_table = tables[host]
+        return orientation
+
     if orientation is None:
         orientation = build_orientation(topo, root=root)
     if routing == "updown":

@@ -21,7 +21,7 @@ This module layers those semantics over :class:`~repro.gm.host.GmHost`:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Optional
 
 from repro.gm.host import GmHost, GmMessage

@@ -18,11 +18,32 @@ renders them as ASCII tables with paper-vs-measured columns.
 """
 
 from repro.harness.paths import Fig6Paths, fig6_paths
-from repro.harness.fig7 import Fig7Result, run_fig7
-from repro.harness.fig8 import Fig8Result, run_fig8
+from repro.harness.fig7 import Fig7Result, measure_fig7_point, run_fig7
+from repro.harness.fig8 import Fig8Result, measure_fig8_point, run_fig8
 from repro.harness.fig1 import Fig1Result, run_fig1
-from repro.harness.throughput import ThroughputPoint, ThroughputResult, run_throughput
-from repro.harness.apps import AppResult, run_app_comparison, run_kernel
+from repro.harness.throughput import (
+    ThroughputPoint,
+    ThroughputResult,
+    measure_load_point,
+    run_throughput,
+)
+from repro.harness.apps import (
+    AppResult,
+    AppsResult,
+    measure_app_point,
+    run_app_comparison,
+    run_kernel,
+)
+from repro.harness.ablations import (
+    AblationLoadResult,
+    BufferPoolResult,
+    BufferPoolStudyResult,
+    TimingSweepResult,
+    TimingSweepRow,
+    run_ablation_buffer_pool,
+    run_ablation_load,
+    run_ablation_timing,
+)
 from repro.harness.breakdown import LatencyBreakdown, measure_breakdown
 from repro.harness.workloads import (
     TrafficStats,
@@ -47,12 +68,21 @@ from repro.harness.chrome_trace import (
     to_counter_events,
     write_chrome_trace,
 )
-from repro.harness.root_study import RootStudyRow, run_root_study
+from repro.harness.root_study import (
+    RootStudyResult,
+    RootStudyRow,
+    measure_root_point,
+    run_root_study,
+)
 from repro.harness.timeline import PacketTimeline, packet_timeline
 from repro.harness.validation import ValidationReport, validate_claims
 
 __all__ = [
+    "AblationLoadResult",
     "AppResult",
+    "AppsResult",
+    "BufferPoolResult",
+    "BufferPoolStudyResult",
     "CLAIMS",
     "Claim",
     "Fig1Result",
@@ -62,11 +92,14 @@ __all__ = [
     "LatencyBreakdown",
     "LatencySummary",
     "PacketTimeline",
+    "RootStudyResult",
     "RootStudyRow",
     "SweepPoint",
     "SweepResult",
     "ThroughputPoint",
     "ThroughputResult",
+    "TimingSweepResult",
+    "TimingSweepRow",
     "TrafficStats",
     "ValidationReport",
     "claim",
@@ -76,11 +109,19 @@ __all__ = [
     "hotspot_traffic",
     "line_plot",
     "load_results",
+    "measure_app_point",
     "measure_breakdown",
+    "measure_fig7_point",
+    "measure_fig8_point",
+    "measure_load_point",
+    "measure_root_point",
     "packet_timeline",
     "paper_vs_measured",
     "profiler_table",
     "permutation_traffic",
+    "run_ablation_buffer_pool",
+    "run_ablation_load",
+    "run_ablation_timing",
     "run_app_comparison",
     "run_fig1",
     "run_fig7",

@@ -22,19 +22,23 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.core.builder import build_network
 from repro.core.config import NetworkConfig
 from repro.core.timings import Timings
-from repro.harness.fig8 import run_fig8
+from repro.harness.fig8 import measure_fig8_point
 from repro.harness.paths import fig6_paths
-from repro.harness.workloads import drive_traffic, uniform_traffic
 
 __all__ = [
     "AblationLoadResult",
     "BufferPoolResult",
+    "BufferPoolStudyResult",
+    "TimingSweepResult",
     "TimingSweepRow",
+    "measure_buffer_scheme",
+    "measure_loaded_half_rtt",
+    "measure_timing_regime",
     "run_ablation_buffer_pool",
     "run_ablation_load",
     "run_ablation_timing",
@@ -62,6 +66,41 @@ class AblationLoadResult:
         return self.overhead_loaded_ns / self.overhead_unloaded_ns
 
 
+def measure_loaded_half_rtt(
+    route_name: str,
+    size: int,
+    iterations: int,
+    background_gap_ns: float,
+    seed: int,
+    build: Callable = build_network,
+) -> float:
+    """Half-RTT over one Figure 8 path while the in-transit host keeps
+    the re-injection output channel busy with background traffic."""
+    from repro.sim.engine import Timeout
+
+    t = Timings().with_overrides(host_jitter_sigma_ns=0.0)
+    config = NetworkConfig(firmware="itb", routing="updown",
+                           timings=t, seed=seed)
+    net = build("fig6", config=config)
+    paths = fig6_paths(net.topo, net.roles)
+    itb_host = net.roles["itb"]
+    h2 = net.roles["host2"]
+
+    def background():
+        nic = net.nics[itb_host]
+        while True:
+            nic.firmware.host_send(dst=h2, payload_len=512,
+                                   gm={"last": True})
+            yield Timeout(background_gap_ns)
+
+    net.sim.process(background(), name="background")
+    chosen = paths.ud5 if route_name == "ud5" else paths.itb5
+    res = net.ping_pong("host1", "host2", size=size,
+                        iterations=iterations,
+                        route_ab=chosen, route_ba=paths.rev2)
+    return res.mean_ns
+
+
 def run_ablation_load(
     size: int = 256,
     iterations: int = 40,
@@ -69,7 +108,8 @@ def run_ablation_load(
     seed: int = 2001,
 ) -> AblationLoadResult:
     """Measure the marginal per-ITB overhead when the re-injection
-    output port is kept busy by background traffic.
+    output port is kept busy by background traffic (through the
+    unified experiment pipeline).
 
     Background: the in-transit host itself streams packets to host2
     over the same output channel the re-injection needs, so in-transit
@@ -79,42 +119,15 @@ def run_ablation_load(
     argument the *difference* between the ITB and UD latencies shrinks
     relative to the unloaded case.
     """
-    from repro.sim.engine import Timeout
+    from repro.exp import ExperimentSpec, run_experiment
 
-    unloaded = run_fig8(sizes=(size,), iterations=iterations, seed=seed)
-    ovh_unloaded = unloaded.rows[0].overhead_ns
-
-    def measure(route_name: str) -> float:
-        t = Timings().with_overrides(host_jitter_sigma_ns=0.0)
-        config = NetworkConfig(firmware="itb", routing="updown",
-                               timings=t, seed=seed)
-        net = build_network("fig6", config=config)
-        paths = fig6_paths(net.topo, net.roles)
-        itb_host = net.roles["itb"]
-        h2 = net.roles["host2"]
-
-        def background():
-            nic = net.nics[itb_host]
-            while True:
-                nic.firmware.host_send(dst=h2, payload_len=512,
-                                       gm={"last": True})
-                yield Timeout(background_gap_ns)
-
-        net.sim.process(background(), name="background")
-        chosen = paths.ud5 if route_name == "ud5" else paths.itb5
-        res = net.ping_pong("host1", "host2", size=size,
-                            iterations=iterations,
-                            route_ab=chosen, route_ba=paths.rev2)
-        return res.mean_ns
-
-    ud = measure("ud5")
-    ud_itb = measure("itb5")
-    ovh_loaded = 2.0 * (ud_itb - ud)
-    return AblationLoadResult(
-        size=size,
-        overhead_unloaded_ns=ovh_unloaded,
-        overhead_loaded_ns=ovh_loaded,
-    )
+    return run_experiment(ExperimentSpec(
+        experiment="ablation-load",
+        sizes=(size,),
+        iterations=iterations,
+        seed=seed,
+        params={"background_gap_ns": background_gap_ns},
+    ))
 
 
 # ---------------------------------------------------------------------------
@@ -138,6 +151,118 @@ class BufferPoolResult:
         return self.delivered / max(1, self.offered)
 
 
+@dataclass
+class BufferPoolStudyResult:
+    """Both buffering schemes, fixed first then pool."""
+
+    results: list[BufferPoolResult] = field(default_factory=list)
+
+    def get(self, kind: str) -> BufferPoolResult:
+        """The result of one buffering scheme."""
+        for r in self.results:
+            if r.kind == kind:
+                return r
+        raise KeyError(f"no result for scheme {kind!r}")
+
+    def as_dict(self) -> dict[str, BufferPoolResult]:
+        """The results keyed by scheme kind (the legacy return shape)."""
+        return {r.kind: r for r in self.results}
+
+
+def measure_buffer_scheme(
+    kind: str,
+    n_senders: int,
+    packets_per_sender: int,
+    packet_size: int,
+    pool_bytes: int,
+    seed: int,
+    build: Callable = build_network,
+) -> BufferPoolResult:
+    """Blast the in-transit burst through one buffering scheme."""
+    from repro.routing.routes import ItbRoute, SourceRoute
+    from repro.sim.engine import Timeout
+    from repro.topology.graph import PortKind, Topology
+
+    topo = Topology(name="bufpool-star")
+    sw_a = topo.add_switch(n_ports=8, name="swA")
+    sw_b = topo.add_switch(n_ports=8, name="swB")
+    sw_c = topo.add_switch(n_ports=8, name="swC")
+    topo.connect(sw_a, 0, sw_b, 0, kind=PortKind.SAN)
+    topo.connect(sw_b, 1, sw_c, 0, kind=PortKind.SAN)
+    senders = [
+        topo.attach_host(sw_a, topo.free_port(sw_a), name=f"src{i}")
+        for i in range(n_senders)
+    ]
+    transit = topo.attach_host(sw_b, topo.free_port(sw_b), name="transit")
+    sinks = [
+        topo.attach_host(sw_c, topo.free_port(sw_c), name=f"dst{i}")
+        for i in range(n_senders)
+    ]
+
+    t = Timings().with_overrides(host_jitter_sigma_ns=0.0)
+    config = NetworkConfig(
+        firmware="itb", routing="updown", timings=t, seed=seed,
+        recv_buffer_kind=kind, pool_bytes=pool_bytes, reliable=False,
+    )
+    net = build(topo, config=config)
+    sim = net.sim
+
+    done = sim.event("burst-done")
+    counts = {"outstanding": 0, "delivered": 0, "offered": 0,
+              "lat": []}
+
+    def on_final(tp):
+        counts["outstanding"] -= 1
+        if not tp.dropped:
+            counts["delivered"] += 1
+            counts["lat"].append(
+                (tp.t_complete_dst or 0) - (tp.t_inject or 0))
+        if counts["outstanding"] == 0 and not done.triggered:
+            done.succeed()
+
+    def route_for(src_host: int, dst_host: int) -> ItbRoute:
+        seg1 = SourceRoute(
+            src=src_host, dst=transit,
+            ports=(0, topo.port_toward(sw_b, transit)),
+            switch_path=(sw_a, sw_b),
+        )
+        seg2 = SourceRoute(
+            src=transit, dst=dst_host,
+            ports=(1, topo.port_toward(sw_c, dst_host)),
+            switch_path=(sw_b, sw_c),
+        )
+        return ItbRoute((seg1, seg2))
+
+    def blaster(src_host: int, dst_host: int):
+        nic = net.nics[src_host]
+        route = route_for(src_host, dst_host)
+        for _ in range(packets_per_sender):
+            counts["offered"] += 1
+            counts["outstanding"] += 1
+            nic.firmware.host_send(
+                dst=dst_host, payload_len=packet_size,
+                gm={"last": True}, on_delivered=on_final, route=route,
+            )
+            yield Timeout(200.0)  # near-simultaneous burst
+
+    for src, dst in zip(senders, sinks):
+        sim.process(blaster(src, dst), name=f"blast[{src}]")
+    sim.run_until_event(done)
+
+    transit_nic = net.nics[transit]
+    import numpy as np
+
+    return BufferPoolResult(
+        kind=kind,
+        delivered=counts["delivered"],
+        offered=counts["offered"],
+        flushed=transit_nic.stats.packets_flushed,
+        recv_blocked_ns=transit_nic.stats.recv_blocked_ns,
+        mean_latency_ns=float(np.mean(counts["lat"])) if counts["lat"]
+        else 0.0,
+    )
+
+
 def run_ablation_buffer_pool(
     n_senders: int = 4,
     packets_per_sender: int = 30,
@@ -145,7 +270,8 @@ def run_ablation_buffer_pool(
     pool_bytes: int = 8 * 1024,
     seed: int = 2001,
 ) -> dict[str, BufferPoolResult]:
-    """Blast in-transit traffic through one host under both schemes.
+    """Blast in-transit traffic through one host under both schemes
+    (through the unified experiment pipeline).
 
     Topology: a star of ``n_senders`` hosts on switch A, all sending
     through an in-transit host on switch B to targets on switch C —
@@ -155,91 +281,19 @@ def run_ablation_buffer_pool(
     are what GM's retransmission exists to recover, tested in
     tests/test_gm_reliability.py).
     """
-    from repro.routing.routes import ItbRoute, SourceRoute
-    from repro.sim.engine import Timeout
-    from repro.topology.graph import PortKind, Topology
+    from repro.exp import ExperimentSpec, run_experiment
 
-    results: dict[str, BufferPoolResult] = {}
-    for kind in ("fixed", "pool"):
-        topo = Topology(name="bufpool-star")
-        sw_a = topo.add_switch(n_ports=8, name="swA")
-        sw_b = topo.add_switch(n_ports=8, name="swB")
-        sw_c = topo.add_switch(n_ports=8, name="swC")
-        topo.connect(sw_a, 0, sw_b, 0, kind=PortKind.SAN)
-        topo.connect(sw_b, 1, sw_c, 0, kind=PortKind.SAN)
-        senders = [
-            topo.attach_host(sw_a, topo.free_port(sw_a), name=f"src{i}")
-            for i in range(n_senders)
-        ]
-        transit = topo.attach_host(sw_b, topo.free_port(sw_b), name="transit")
-        sinks = [
-            topo.attach_host(sw_c, topo.free_port(sw_c), name=f"dst{i}")
-            for i in range(n_senders)
-        ]
-
-        t = Timings().with_overrides(host_jitter_sigma_ns=0.0)
-        config = NetworkConfig(
-            firmware="itb", routing="updown", timings=t, seed=seed,
-            recv_buffer_kind=kind, pool_bytes=pool_bytes, reliable=False,
-        )
-        net = build_network(topo, config=config)
-        sim = net.sim
-
-        done = sim.event("burst-done")
-        counts = {"outstanding": 0, "delivered": 0, "offered": 0,
-                  "lat": []}
-
-        def on_final(tp):
-            counts["outstanding"] -= 1
-            if not tp.dropped:
-                counts["delivered"] += 1
-                counts["lat"].append(
-                    (tp.t_complete_dst or 0) - (tp.t_inject or 0))
-            if counts["outstanding"] == 0 and not done.triggered:
-                done.succeed()
-
-        def route_for(src_host: int, dst_host: int) -> ItbRoute:
-            seg1 = SourceRoute(
-                src=src_host, dst=transit,
-                ports=(0, topo.port_toward(sw_b, transit)),
-                switch_path=(sw_a, sw_b),
-            )
-            seg2 = SourceRoute(
-                src=transit, dst=dst_host,
-                ports=(1, topo.port_toward(sw_c, dst_host)),
-                switch_path=(sw_b, sw_c),
-            )
-            return ItbRoute((seg1, seg2))
-
-        def blaster(src_host: int, dst_host: int):
-            nic = net.nics[src_host]
-            route = route_for(src_host, dst_host)
-            for _ in range(packets_per_sender):
-                counts["offered"] += 1
-                counts["outstanding"] += 1
-                nic.firmware.host_send(
-                    dst=dst_host, payload_len=packet_size,
-                    gm={"last": True}, on_delivered=on_final, route=route,
-                )
-                yield Timeout(200.0)  # near-simultaneous burst
-
-        for src, dst in zip(senders, sinks):
-            sim.process(blaster(src, dst), name=f"blast[{src}]")
-        sim.run_until_event(done)
-
-        transit_nic = net.nics[transit]
-        import numpy as np
-
-        results[kind] = BufferPoolResult(
-            kind=kind,
-            delivered=counts["delivered"],
-            offered=counts["offered"],
-            flushed=transit_nic.stats.packets_flushed,
-            recv_blocked_ns=transit_nic.stats.recv_blocked_ns,
-            mean_latency_ns=float(np.mean(counts["lat"])) if counts["lat"]
-            else 0.0,
-        )
-    return results
+    result: BufferPoolStudyResult = run_experiment(ExperimentSpec(
+        experiment="ablation-bufpool",
+        packet_size=packet_size,
+        seed=seed,
+        params={
+            "n_senders": n_senders,
+            "packets_per_sender": packets_per_sender,
+            "pool_bytes": pool_bytes,
+        },
+    ))
+    return result.as_dict()
 
 
 # ---------------------------------------------------------------------------
@@ -258,6 +312,36 @@ class TimingSweepRow:
     firmware_cost_ns: float = 0.0
 
 
+@dataclass
+class TimingSweepResult:
+    """The firmware-cost sweep, one row per regime."""
+
+    rows: list[TimingSweepRow] = field(default_factory=list)
+
+
+def measure_timing_regime(
+    label: str,
+    early: int,
+    prog: int,
+    size: int,
+    iterations: int,
+    seed: int,
+    build: Callable = build_network,
+) -> TimingSweepRow:
+    """Per-ITB overhead under one firmware cost assumption."""
+    t = Timings().with_overrides(
+        itb_early_recv_cycles=early, itb_program_dma_cycles=prog,
+    )
+    row = measure_fig8_point(size, iterations, t, seed, build=build)
+    return TimingSweepRow(
+        label=label,
+        early_recv_cycles=early,
+        program_dma_cycles=prog,
+        overhead_ns=row.overhead_ns,
+        firmware_cost_ns=t.itb_forward_ns,
+    )
+
+
 def run_ablation_timing(
     size: int = 64,
     iterations: int = 30,
@@ -265,7 +349,10 @@ def run_ablation_timing(
     regimes: Optional[Sequence[tuple[str, int, int]]] = None,
 ) -> list[TimingSweepRow]:
     """Sweep the ITB firmware costs from the [2,3] assumption to the
-    measured implementation and beyond."""
+    measured implementation and beyond (through the unified
+    experiment pipeline)."""
+    from repro.exp import ExperimentSpec, run_experiment
+
     base = Timings()
     if regimes is None:
         regimes = (
@@ -277,20 +364,11 @@ def run_ablation_timing(
             # A hypothetical hardware-assisted detection.
             ("hardware-assisted", 6, 6),
         )
-    rows: list[TimingSweepRow] = []
-    for label, early, prog in regimes:
-        t = base.with_overrides(
-            itb_early_recv_cycles=early, itb_program_dma_cycles=prog,
-        )
-        res = run_fig8(sizes=(size,), iterations=iterations,
-                       timings=t, seed=seed)
-        rows.append(
-            TimingSweepRow(
-                label=label,
-                early_recv_cycles=early,
-                program_dma_cycles=prog,
-                overhead_ns=res.rows[0].overhead_ns,
-                firmware_cost_ns=t.itb_forward_ns,
-            )
-        )
-    return rows
+    result: TimingSweepResult = run_experiment(ExperimentSpec(
+        experiment="ablation-timing",
+        sizes=(size,),
+        iterations=iterations,
+        seed=seed,
+        params={"regimes": [list(r) for r in regimes]},
+    ))
+    return result.rows

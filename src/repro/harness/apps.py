@@ -31,12 +31,13 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.core.builder import BuiltNetwork
+from repro.core.builder import BuiltNetwork, build_network
 from repro.harness.throughput import build_load_network
 from repro.sim.engine import Timeout
 from repro.topology.generators import random_irregular
 
-__all__ = ["AppResult", "run_app_comparison", "run_kernel"]
+__all__ = ["AppResult", "AppsResult", "measure_app_point",
+           "run_app_comparison", "run_kernel"]
 
 
 @dataclass
@@ -54,6 +55,29 @@ class AppResult:
     @property
     def completion_us(self) -> float:
         return self.completion_ns / 1000.0
+
+
+@dataclass
+class AppsResult:
+    """The full kernel × routing comparison grid."""
+
+    results: list[AppResult] = field(default_factory=list)
+
+    def get(self, kernel: str, routing: str) -> AppResult:
+        """The result of one (kernel, routing) cell."""
+        for r in self.results:
+            if r.kernel == kernel and r.routing == routing:
+                return r
+        raise KeyError(f"no result for ({kernel!r}, {routing!r})")
+
+    def kernels(self) -> list[str]:
+        """The measured kernels, sorted by name."""
+        return sorted({r.kernel for r in self.results})
+
+    def speedup(self, kernel: str) -> float:
+        """Completion-time ratio UD / ITB for one kernel."""
+        return (self.get(kernel, "updown").completion_ns
+                / self.get(kernel, "itb").completion_ns)
 
 
 def _pairs_all_to_all(hosts: Sequence[int], _it: int,
@@ -140,6 +164,25 @@ def run_kernel(
     )
 
 
+def measure_app_point(
+    kernel: str,
+    routing: str,
+    n_switches: int,
+    iterations: int,
+    message_size: int,
+    hosts_per_switch: int,
+    topo_seed: int,
+    seed: int,
+    build: Callable = build_network,
+) -> AppResult:
+    """One independent (kernel, routing) completion-time run."""
+    topo = random_irregular(n_switches, seed=topo_seed,
+                            hosts_per_switch=hosts_per_switch)
+    net = build_load_network(topo, routing, build=build)
+    return run_kernel(net, kernel, iterations=iterations,
+                      message_size=message_size, seed=seed)
+
+
 def run_app_comparison(
     n_switches: int = 16,
     kernels: Sequence[str] = ("all-to-all", "ring", "random-pairs"),
@@ -149,15 +192,18 @@ def run_app_comparison(
     topo_seed: int = 11,
     seed: int = 13,
 ) -> list[AppResult]:
-    """Run every kernel under both routings on the same topology."""
-    results: list[AppResult] = []
-    for kernel in kernels:
-        for routing in ("updown", "itb"):
-            topo = random_irregular(n_switches, seed=topo_seed,
-                                    hosts_per_switch=hosts_per_switch)
-            net = build_load_network(topo, routing)
-            results.append(
-                run_kernel(net, kernel, iterations=iterations,
-                           message_size=message_size, seed=seed)
-            )
-    return results
+    """Run every kernel under both routings on the same topology
+    (through the unified experiment pipeline)."""
+    from repro.exp import ExperimentSpec, run_experiment
+
+    result: AppsResult = run_experiment(ExperimentSpec(
+        experiment="apps",
+        n_switches=n_switches,
+        kernels=tuple(kernels),
+        iterations=iterations,
+        message_size=message_size,
+        hosts_per_switch=hosts_per_switch,
+        topo_seed=topo_seed,
+        seed=seed,
+    ))
+    return result.results

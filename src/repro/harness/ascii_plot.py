@@ -8,7 +8,7 @@ shows the *shape* at a glance without any plotting dependency.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from typing import Sequence
 
 __all__ = ["line_plot"]
 

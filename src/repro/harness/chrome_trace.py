@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable, Optional, Union
+from typing import TYPE_CHECKING, Iterable, Union
 
 if TYPE_CHECKING:  # pragma: no cover - import-cycle guard
     from repro.obs.sampler import TimeSeries

@@ -14,7 +14,7 @@ Paper results to match in shape: average delta ~125 ns, never above
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -23,7 +23,8 @@ from repro.core.config import NetworkConfig
 from repro.core.timings import Timings
 from repro.harness.paths import fig6_paths
 
-__all__ = ["Fig7Result", "Fig7Row", "run_fig7", "DEFAULT_SIZES"]
+__all__ = ["Fig7Result", "Fig7Row", "measure_fig7_point", "run_fig7",
+           "DEFAULT_SIZES"]
 
 #: gm_allsize-style size ladder: powers of two up to the GM MTU.
 DEFAULT_SIZES: tuple[int, ...] = (
@@ -77,11 +78,12 @@ class Fig7Result:
 
 
 def _measure(firmware: str, size: int, iterations: int,
-             timings: Optional[Timings], seed: int) -> float:
+             timings: Optional[Timings], seed: int,
+             build: Callable = build_network) -> float:
     config = NetworkConfig(firmware=firmware, routing="updown", seed=seed)
     if timings is not None:
         config.timings = timings
-    net = build_network("fig6", config=config)
+    net = build("fig6", config=config)
     paths = fig6_paths(net.topo, net.roles)
     result = net.ping_pong(
         "host1", "host2", size=size, iterations=iterations,
@@ -90,22 +92,31 @@ def _measure(firmware: str, size: int, iterations: int,
     return result.mean_ns
 
 
+def measure_fig7_point(size: int, iterations: int,
+                       timings: Optional[Timings], seed: int,
+                       build: Callable = build_network) -> Fig7Row:
+    """One independent Figure 7 point: both firmwares at one size.
+
+    Both networks are built with the same seed, so the host-noise
+    stream is identical across the two firmwares and the measured
+    delta isolates the code change — the simulation analogue of
+    running both MCPs on the same testbed.
+    """
+    orig = _measure("original", size, iterations, timings, seed, build)
+    mod = _measure("itb", size, iterations, timings, seed, build)
+    return Fig7Row(size=size, original_ns=orig, modified_ns=mod)
+
+
 def run_fig7(
     sizes: Sequence[int] = DEFAULT_SIZES,
     iterations: int = 100,
     timings: Optional[Timings] = None,
     seed: int = 2001,
 ) -> Fig7Result:
-    """Regenerate Figure 7.
+    """Regenerate Figure 7 (through the unified experiment pipeline)."""
+    from repro.exp import ExperimentSpec, run_experiment
 
-    Each (firmware, size) pair runs on a freshly built network with
-    the same seed, so the host-noise stream is identical across the
-    two firmwares and the measured delta isolates the code change —
-    the simulation analogue of running both MCPs on the same testbed.
-    """
-    out = Fig7Result(iterations=iterations)
-    for size in sizes:
-        orig = _measure("original", size, iterations, timings, seed)
-        mod = _measure("itb", size, iterations, timings, seed)
-        out.rows.append(Fig7Row(size=size, original_ns=orig, modified_ns=mod))
-    return out
+    return run_experiment(ExperimentSpec(
+        experiment="fig7", sizes=tuple(sizes), iterations=iterations,
+        timings=timings, seed=seed,
+    ))

@@ -16,7 +16,7 @@ simulation estimate of ~0.5 us [2,3].
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -26,7 +26,7 @@ from repro.core.timings import Timings
 from repro.harness.fig7 import DEFAULT_SIZES
 from repro.harness.paths import fig6_paths
 
-__all__ = ["Fig8Result", "Fig8Row", "run_fig8"]
+__all__ = ["Fig8Result", "Fig8Row", "measure_fig8_point", "run_fig8"]
 
 
 @dataclass
@@ -72,11 +72,12 @@ class Fig8Result:
 
 
 def _measure(route_ab, size: int, iterations: int,
-             timings: Optional[Timings], seed: int) -> float:
+             timings: Optional[Timings], seed: int,
+             build: Callable = build_network) -> float:
     config = NetworkConfig(firmware="itb", routing="updown", seed=seed)
     if timings is not None:
         config.timings = timings
-    net = build_network("fig6", config=config)
+    net = build("fig6", config=config)
     paths = fig6_paths(net.topo, net.roles)
     chosen = paths.ud5 if route_ab == "ud5" else paths.itb5
     result = net.ping_pong(
@@ -86,22 +87,31 @@ def _measure(route_ab, size: int, iterations: int,
     return result.mean_ns
 
 
-def run_fig8(
-    sizes: Sequence[int] = DEFAULT_SIZES,
-    iterations: int = 100,
-    timings: Optional[Timings] = None,
-    seed: int = 2001,
-) -> Fig8Result:
-    """Regenerate Figure 8.
+def measure_fig8_point(size: int, iterations: int,
+                       timings: Optional[Timings], seed: int,
+                       build: Callable = build_network) -> Fig8Row:
+    """One independent Figure 8 point: both paths at one size.
 
     Both series run the ITB-modified firmware (as on the real testbed
     — the firmware is installed on all NICs; only the path differs)
     with identical seeds, so the delta isolates the ejection +
     re-injection cost.
     """
-    out = Fig8Result(iterations=iterations)
-    for size in sizes:
-        ud = _measure("ud5", size, iterations, timings, seed)
-        ud_itb = _measure("itb5", size, iterations, timings, seed)
-        out.rows.append(Fig8Row(size=size, ud_ns=ud, ud_itb_ns=ud_itb))
-    return out
+    ud = _measure("ud5", size, iterations, timings, seed, build)
+    ud_itb = _measure("itb5", size, iterations, timings, seed, build)
+    return Fig8Row(size=size, ud_ns=ud, ud_itb_ns=ud_itb)
+
+
+def run_fig8(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    iterations: int = 100,
+    timings: Optional[Timings] = None,
+    seed: int = 2001,
+) -> Fig8Result:
+    """Regenerate Figure 8 (through the unified experiment pipeline)."""
+    from repro.exp import ExperimentSpec, run_experiment
+
+    return run_experiment(ExperimentSpec(
+        experiment="fig8", sizes=tuple(sizes), iterations=iterations,
+        timings=timings, seed=seed,
+    ))

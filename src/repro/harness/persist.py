@@ -5,108 +5,142 @@ sweeps) are worth keeping: this module serializes the harness result
 dataclasses to plain JSON and back, so EXPERIMENTS.md refreshes and
 cross-run comparisons do not require re-simulation.
 
-Only the figure results carry schema here; anything else can ride in
-the free-form ``extra`` section.
+Serialization is generic: every registered result kind is a dataclass
+tree, encoded field-by-field (:func:`to_document`) and rebuilt from
+its type hints (:func:`from_document`) — adding a new experiment means
+one ``_RESULT_KINDS`` entry, not a hand-written ``_X_to_dict`` pair.
+Documents are spec-keyed: when the experiment runner persists a run it
+stores the full :class:`~repro.exp.spec.ExperimentSpec` beside the
+result, so a saved file is a complete, reproducible description of
+what was measured.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import typing
 from pathlib import Path
 from typing import Any, Optional, Union
 
-import numpy as np
-
-from repro.harness.fig7 import Fig7Result, Fig7Row
-from repro.harness.fig8 import Fig8Result, Fig8Row
+from repro.harness.ablations import (AblationLoadResult,
+                                     BufferPoolStudyResult,
+                                     TimingSweepResult)
+from repro.harness.apps import AppsResult
+from repro.harness.fig7 import Fig7Result
+from repro.harness.fig8 import Fig8Result
+from repro.harness.root_study import RootStudyResult
 from repro.harness.throughput import ThroughputResult
 
-__all__ = ["load_results", "save_results"]
+__all__ = ["from_document", "load_results", "save_results", "to_document"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
-
-def _fig7_to_dict(r: Fig7Result) -> dict:
-    return {
-        "kind": "fig7",
-        "iterations": r.iterations,
-        "rows": [
-            {"size": row.size, "original_ns": row.original_ns,
-             "modified_ns": row.modified_ns}
-            for row in r.rows
-        ],
-    }
-
-
-def _fig8_to_dict(r: Fig8Result) -> dict:
-    return {
-        "kind": "fig8",
-        "iterations": r.iterations,
-        "rows": [
-            {"size": row.size, "ud_ns": row.ud_ns,
-             "ud_itb_ns": row.ud_itb_ns}
-            for row in r.rows
-        ],
-    }
-
-
-def _throughput_to_dict(r: ThroughputResult) -> dict:
-    return {
-        "kind": "throughput",
-        "n_switches": r.n_switches,
-        "packet_size": r.packet_size,
-        "seed": r.seed,
-        "points": [
-            {
-                "routing": p.routing,
-                "offered": p.offered_bytes_per_ns_per_host,
-                "accepted": p.accepted,
-                "mean_latency_ns": p.mean_latency_ns,
-                "delivered": p.stats.delivered_packets,
-                "dropped": p.stats.dropped_packets,
-            }
-            for p in r.points
-        ],
-    }
-
-
-_SERIALIZERS = {
-    Fig7Result: _fig7_to_dict,
-    Fig8Result: _fig8_to_dict,
-    ThroughputResult: _throughput_to_dict,
+#: kind name -> result dataclass; the single registry the generic
+#: codec needs (both directions are derived from it).
+_RESULT_KINDS: dict[str, type] = {
+    "fig7": Fig7Result,
+    "fig8": Fig8Result,
+    "throughput": ThroughputResult,
+    "apps": AppsResult,
+    "root-study": RootStudyResult,
+    "ablation-load": AblationLoadResult,
+    "ablation-bufpool": BufferPoolStudyResult,
+    "ablation-timing": TimingSweepResult,
 }
+
+_KIND_BY_TYPE = {cls: kind for kind, cls in _RESULT_KINDS.items()}
+
+
+def to_document(obj: Any) -> Any:
+    """Recursively encode a result dataclass tree as JSON-able values."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: to_document(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)}
+    if isinstance(obj, (list, tuple)):
+        return [to_document(v) for v in obj]
+    if isinstance(obj, dict):
+        return {k: to_document(v) for k, v in obj.items()}
+    if hasattr(obj, "item") and callable(obj.item):  # numpy scalar
+        return obj.item()
+    return obj
+
+
+def _rebuild(hint: Any, value: Any) -> Any:
+    """Rebuild one field value according to its type hint."""
+    if value is None:
+        return None
+    origin = typing.get_origin(hint)
+    if origin is Union:
+        args = [a for a in typing.get_args(hint) if a is not type(None)]
+        if len(args) == 1:
+            return _rebuild(args[0], value)
+        return value
+    if origin in (list, tuple) and isinstance(value, list):
+        args = typing.get_args(hint)
+        item_hint = args[0] if args else Any
+        items = [_rebuild(item_hint, v) for v in value]
+        return tuple(items) if origin is tuple else items
+    if isinstance(hint, type) and dataclasses.is_dataclass(hint):
+        return from_document(hint, value)
+    return value
+
+
+def from_document(cls: type, doc: dict) -> Any:
+    """Rebuild a dataclass tree encoded by :func:`to_document`.
+
+    Nested dataclasses are reconstructed from ``cls``'s resolved type
+    hints, so every registered result kind round-trips losslessly.
+    """
+    hints = typing.get_type_hints(cls)
+    kwargs = {
+        f.name: _rebuild(hints.get(f.name, Any), doc[f.name])
+        for f in dataclasses.fields(cls)
+        if f.name in doc
+    }
+    return cls(**kwargs)
 
 
 def save_results(
     path: Union[str, Path],
     results: dict,
     extra: Optional[dict] = None,
+    specs: Optional[dict] = None,
 ) -> Path:
-    """Write named results to JSON.
+    """Write named results (and optionally their specs) to JSON.
 
-    ``results`` maps a name (e.g. ``"fig7"``) to a supported result
-    object; unsupported values raise.  ``extra`` is stored verbatim
-    (must be JSON-serializable).
+    ``results`` maps a name (e.g. ``"fig7"``) to a registered result
+    object; unsupported values raise.  ``specs`` optionally maps the
+    same names to the :class:`~repro.exp.spec.ExperimentSpec` that
+    produced each result (the experiment runner passes these).
+    ``extra`` is stored verbatim (must be JSON-serializable).
     """
     payload: dict[str, Any] = {"format_version": _FORMAT_VERSION,
                                "results": {}, "extra": extra or {}}
     for name, result in results.items():
-        serializer = _SERIALIZERS.get(type(result))
-        if serializer is None:
+        kind = _KIND_BY_TYPE.get(type(result))
+        if kind is None:
             raise TypeError(
-                f"cannot persist {type(result).__name__};"
-                f" supported: {[c.__name__ for c in _SERIALIZERS]}"
+                f"cannot persist {type(result).__name__}; supported:"
+                f" {[c.__name__ for c in _KIND_BY_TYPE]}"
             )
-        payload["results"][name] = serializer(result)
+        payload["results"][name] = {"kind": kind,
+                                    "data": to_document(result)}
+    if specs:
+        payload["specs"] = {name: spec.to_dict()
+                            for name, spec in specs.items()}
     path = Path(path)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True))
     return path
 
 
 def load_results(path: Union[str, Path]) -> dict:
-    """Read results back; figure rows are rehydrated into their
-    dataclasses (throughput points come back as plain dicts — their
-    TrafficStats are aggregates, not replayable state)."""
+    """Read results back, rehydrating every kind into its dataclass.
+
+    Returns ``{name: result, ..., "extra": {...}}``; when the file
+    carries specs, they come back under ``"specs"`` as rebuilt
+    :class:`~repro.exp.spec.ExperimentSpec` objects.
+    """
     payload = json.loads(Path(path).read_text())
     if payload.get("format_version") != _FORMAT_VERSION:
         raise ValueError(
@@ -114,16 +148,13 @@ def load_results(path: Union[str, Path]) -> dict:
     out: dict[str, Any] = {"extra": payload.get("extra", {})}
     for name, blob in payload["results"].items():
         kind = blob["kind"]
-        if kind == "fig7":
-            result = Fig7Result(iterations=blob["iterations"])
-            result.rows = [Fig7Row(**row) for row in blob["rows"]]
-            out[name] = result
-        elif kind == "fig8":
-            result8 = Fig8Result(iterations=blob["iterations"])
-            result8.rows = [Fig8Row(**row) for row in blob["rows"]]
-            out[name] = result8
-        elif kind == "throughput":
-            out[name] = blob  # summary dict; see docstring
-        else:
+        cls = _RESULT_KINDS.get(kind)
+        if cls is None:
             raise ValueError(f"unknown result kind {kind!r}")
+        out[name] = from_document(cls, blob["data"])
+    if payload.get("specs"):
+        from repro.exp.spec import ExperimentSpec
+
+        out["specs"] = {name: ExperimentSpec.from_dict(doc)
+                        for name, doc in payload["specs"].items()}
     return out

@@ -16,7 +16,7 @@ property this study pins down.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.routing.itb import ItbRouter
@@ -26,7 +26,8 @@ from repro.routing.updown import UpDownRouter
 from repro.topology.generators import random_irregular
 from repro.topology.graph import Topology
 
-__all__ = ["RootStudyRow", "run_root_study", "worst_root"]
+__all__ = ["RootStudyResult", "RootStudyRow", "measure_root_point",
+           "run_root_study", "worst_root"]
 
 
 def worst_root(topo: Topology) -> int:
@@ -62,12 +63,60 @@ class RootStudyRow:
         return self.avg_updown_hops / self.avg_minimal_hops
 
 
+@dataclass
+class RootStudyResult:
+    """All root placements, in spec order."""
+
+    rows: list[RootStudyRow] = field(default_factory=list)
+
+
 def _avg_hops(route_fn, hosts) -> float:
     total = n = 0
     for s, d in itertools.permutations(hosts, 2):
         total += len(route_fn(s, d).switch_hops())
         n += 1
     return total / n
+
+
+def measure_root_point(
+    label: str,
+    which: str,
+    n_switches: int,
+    topo_seed: int,
+    hosts_per_switch: int,
+    switch_links: int,
+) -> RootStudyRow:
+    """Route quality under one root placement (pure routing analysis;
+    the topology from ``topo_seed`` is regenerated deterministically,
+    so points are independent and fan out cleanly)."""
+    topo = random_irregular(n_switches, seed=topo_seed,
+                            hosts_per_switch=hosts_per_switch,
+                            switch_links=switch_links)
+    hosts = topo.hosts()
+    minimal = _avg_hops(MinimalRouter(topo).route, hosts)
+    if which == "choose":
+        root = choose_root(topo)
+    elif which == "worst":
+        root = worst_root(topo)
+    else:
+        root = int(which)
+    orientation = build_orientation(topo, root=root)
+    ud = UpDownRouter(topo, orientation)
+    itb = ItbRouter(topo, orientation)
+    itb_routes = {p: itb.itb_route(*p)
+                  for p in itertools.permutations(hosts, 2)}
+    return RootStudyRow(
+        root_label=label,
+        root=root,
+        avg_updown_hops=_avg_hops(ud.route, hosts),
+        avg_itb_hops=sum(len(r.switch_hops())
+                         for r in itb_routes.values())
+        / len(itb_routes),
+        avg_minimal_hops=minimal,
+        pairs_with_itbs=sum(1 for r in itb_routes.values()
+                            if r.n_itbs > 0),
+        n_pairs=len(itb_routes),
+    )
 
 
 def run_root_study(
@@ -78,41 +127,21 @@ def run_root_study(
     roots: Sequence[tuple[str, str]] = (("optimal", "choose"),
                                         ("anti-optimal", "worst")),
 ) -> list[RootStudyRow]:
-    """Compare route quality under different root placements.
+    """Compare route quality under different root placements
+    (through the unified experiment pipeline).
 
     ``roots`` names the placements: ``"choose"`` = the mapper's
     min-eccentricity policy, ``"worst"`` = max-eccentricity, or an
     integer switch id as a string.
     """
-    topo = random_irregular(n_switches, seed=topo_seed,
-                            hosts_per_switch=hosts_per_switch,
-                            switch_links=switch_links)
-    hosts = topo.hosts()
-    mn = MinimalRouter(topo)
-    minimal = _avg_hops(mn.route, hosts)
-    rows: list[RootStudyRow] = []
-    for label, which in roots:
-        if which == "choose":
-            root = choose_root(topo)
-        elif which == "worst":
-            root = worst_root(topo)
-        else:
-            root = int(which)
-        orientation = build_orientation(topo, root=root)
-        ud = UpDownRouter(topo, orientation)
-        itb = ItbRouter(topo, orientation)
-        itb_routes = {p: itb.itb_route(*p)
-                      for p in itertools.permutations(hosts, 2)}
-        rows.append(RootStudyRow(
-            root_label=label,
-            root=root,
-            avg_updown_hops=_avg_hops(ud.route, hosts),
-            avg_itb_hops=sum(len(r.switch_hops())
-                             for r in itb_routes.values())
-            / len(itb_routes),
-            avg_minimal_hops=minimal,
-            pairs_with_itbs=sum(1 for r in itb_routes.values()
-                                if r.n_itbs > 0),
-            n_pairs=len(itb_routes),
-        ))
-    return rows
+    from repro.exp import ExperimentSpec, run_experiment
+
+    result: RootStudyResult = run_experiment(ExperimentSpec(
+        experiment="root-study",
+        n_switches=n_switches,
+        topo_seed=topo_seed,
+        hosts_per_switch=hosts_per_switch,
+        switch_links=switch_links,
+        params={"roots": [list(r) for r in roots]},
+    ))
+    return result.rows

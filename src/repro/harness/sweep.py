@@ -4,12 +4,15 @@ Experiments beyond the fixed figure set — sensitivity studies over
 timing constants, topology parameters, or load knobs — all reduce to
 "run a function over the cartesian product of parameter values and
 tabulate".  :func:`sweep` does exactly that, deterministically, with
-optional progress callbacks and crash isolation per point.
+optional progress callbacks, crash isolation per point, and opt-in
+parallel evaluation (``jobs > 1``) that merges results by point index
+so parallel and serial sweeps tabulate identically.
 """
 
 from __future__ import annotations
 
 import itertools
+import multiprocessing
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Optional, Sequence
 
@@ -76,12 +79,45 @@ class SweepResult:
         return rows
 
 
+def _evaluate(fn: Callable[..., Any], params: dict, fixed: dict,
+              isolate_errors: bool) -> SweepPoint:
+    """Evaluate one parameter combination into a :class:`SweepPoint`."""
+    try:
+        return SweepPoint(params=params, value=fn(**params, **fixed))
+    except Exception as exc:
+        if not isolate_errors:
+            raise
+        return SweepPoint(params=params, error=repr(exc))
+
+
+def _evaluate_payload(payload: tuple) -> SweepPoint:
+    """Pool-worker entry point (module-level so it pickles)."""
+    fn, params, fixed, isolate_errors = payload
+    return _evaluate(fn, params, fixed, isolate_errors)
+
+
+def _sweep_parallel(fn: Callable[..., Any], combos: list[dict],
+                    fixed: dict, isolate_errors: bool,
+                    jobs: int) -> list[SweepPoint]:
+    """Fan combos over a fork pool; order-preserving, serial fallback."""
+    try:
+        mp = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platform
+        return [_evaluate(fn, params, fixed, isolate_errors)
+                for params in combos]
+    payloads = [(fn, params, fixed, isolate_errors) for params in combos]
+    with mp.Pool(processes=min(jobs, len(payloads))) as pool:
+        # pool.map preserves input order: merge is by point index.
+        return pool.map(_evaluate_payload, payloads)
+
+
 def sweep(
     fn: Callable[..., Any],
     axes: Mapping[str, Sequence[Any]],
     fixed: Optional[Mapping[str, Any]] = None,
     on_point: Optional[Callable[[SweepPoint], None]] = None,
     isolate_errors: bool = False,
+    jobs: int = 1,
 ) -> SweepResult:
     """Evaluate ``fn(**params)`` over the cartesian product of ``axes``.
 
@@ -95,29 +131,41 @@ def sweep(
     fixed:
         Extra keyword arguments passed to every call.
     on_point:
-        Progress callback invoked after each evaluation.
+        Progress callback invoked after each evaluation (with
+        ``jobs > 1`` it fires in the parent, in point order, after the
+        pool drains).
     isolate_errors:
         When True, an exception in one point is recorded on that
         point instead of aborting the sweep.
+    jobs:
+        Process-pool width; ``1`` (default) evaluates serially.
+        Points are independent by construction, results are merged by
+        point index, and the simulation is deterministic, so the
+        tabulated result does not depend on ``jobs`` (``fn`` must be
+        picklable — a module-level function — to fan out).
     """
     if not axes:
         raise ValueError("sweep needs at least one axis")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
     fixed = dict(fixed or {})
     for k in fixed:
         if k in axes:
             raise ValueError(f"parameter {k!r} is both an axis and fixed")
     result = SweepResult(axes=dict(axes))
     names = list(axes)
-    for combo in itertools.product(*(axes[k] for k in names)):
-        params = dict(zip(names, combo))
-        try:
-            value = fn(**params, **fixed)
-            point = SweepPoint(params=params, value=value)
-        except Exception as exc:
-            if not isolate_errors:
-                raise
-            point = SweepPoint(params=params, error=repr(exc))
-        result.points.append(point)
-        if on_point is not None:
-            on_point(point)
+    combos = [dict(zip(names, combo))
+              for combo in itertools.product(*(axes[k] for k in names))]
+    if jobs > 1 and len(combos) > 1:
+        for point in _sweep_parallel(fn, combos, fixed,
+                                     isolate_errors, jobs):
+            result.points.append(point)
+            if on_point is not None:
+                on_point(point)
+    else:
+        for params in combos:
+            point = _evaluate(fn, params, fixed, isolate_errors)
+            result.points.append(point)
+            if on_point is not None:
+                on_point(point)
     return result

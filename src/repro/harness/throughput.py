@@ -17,7 +17,7 @@ not the firmware, is the variable).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.core.builder import BuiltNetwork, build_network
 from repro.core.config import NetworkConfig
@@ -26,8 +26,8 @@ from repro.harness.workloads import DestChooser, TrafficStats, drive_traffic
 from repro.topology.generators import random_irregular
 from repro.topology.graph import Topology
 
-__all__ = ["ThroughputPoint", "ThroughputResult", "run_throughput",
-           "build_load_network"]
+__all__ = ["ThroughputPoint", "ThroughputResult", "measure_load_point",
+           "run_throughput", "build_load_network"]
 
 
 @dataclass
@@ -78,13 +78,15 @@ def build_load_network(
     timings: Optional[Timings] = None,
     seed: int = 2001,
     pool_bytes: int = 1024 * 1024,
+    build: Callable = build_network,
 ) -> BuiltNetwork:
     """A network configured for load experiments.
 
     In-transit hosts use the proposed circular buffer pool (per [2,3]
     the load studies assume ejected packets are always accepted, with
     flush-beyond-saturation), and host-noise is disabled so curves are
-    smooth.
+    smooth.  ``build`` lets the experiment pipeline inject its cached
+    build path.
     """
     t = (timings or Timings()).with_overrides(host_jitter_sigma_ns=0.0)
     config = NetworkConfig(
@@ -96,7 +98,40 @@ def build_load_network(
         pool_bytes=pool_bytes,
         seed=seed,
     )
-    return build_network(topo, config=config)
+    return build(topo, config=config)
+
+
+def measure_load_point(
+    routing: str,
+    rate: float,
+    n_switches: int,
+    packet_size: int,
+    duration_ns: float,
+    warmup_ns: float,
+    topo_seed: int,
+    traffic_seed: int,
+    hosts_per_switch: int,
+    pattern_factory=None,
+    timings: Optional[Timings] = None,
+    build: Callable = build_network,
+) -> TrafficStats:
+    """One independent (routing, offered-rate) sample on a fresh build."""
+    topo = random_irregular(
+        n_switches, seed=topo_seed, hosts_per_switch=hosts_per_switch
+    )
+    net = build_load_network(topo, routing, timings=timings, build=build)
+    pattern: Optional[DestChooser] = None
+    if pattern_factory is not None:
+        pattern = pattern_factory(sorted(net.gm_hosts))
+    return drive_traffic(
+        net,
+        rate_bytes_per_ns_per_host=rate,
+        packet_size=packet_size,
+        duration_ns=duration_ns,
+        warmup_ns=warmup_ns,
+        pattern=pattern,
+        seed=traffic_seed,
+    )
 
 
 def run_throughput(
@@ -112,39 +147,31 @@ def run_throughput(
     pattern_factory=None,
     timings: Optional[Timings] = None,
 ) -> ThroughputResult:
-    """Sweep offered load under both routings on one random topology.
+    """Sweep offered load under both routings on one random topology
+    (through the unified experiment pipeline).
 
     ``rates`` are offered loads in bytes/ns/host (link capacity is
     0.16 bytes/ns).  A fresh network is built per point so runs are
     independent.  ``pattern_factory(hosts)`` may supply a non-uniform
-    destination pattern.
+    destination pattern (callables ride in ``spec.params``, so such a
+    spec is not persistable and fans out only if picklable).
     """
-    result = ThroughputResult(
-        n_switches=n_switches, packet_size=packet_size, seed=topo_seed
-    )
-    for routing in routings:
-        for rate in rates:
-            topo = random_irregular(
-                n_switches, seed=topo_seed, hosts_per_switch=hosts_per_switch
-            )
-            net = build_load_network(topo, routing, timings=timings)
-            pattern: Optional[DestChooser] = None
-            if pattern_factory is not None:
-                pattern = pattern_factory(sorted(net.gm_hosts))
-            stats = drive_traffic(
-                net,
-                rate_bytes_per_ns_per_host=rate,
-                packet_size=packet_size,
-                duration_ns=duration_ns,
-                warmup_ns=warmup_ns,
-                pattern=pattern,
-                seed=traffic_seed,
-            )
-            result.points.append(
-                ThroughputPoint(
-                    routing=routing,
-                    offered_bytes_per_ns_per_host=rate,
-                    stats=stats,
-                )
-            )
-    return result
+    from repro.exp import ExperimentSpec, run_experiment
+
+    params = {}
+    if pattern_factory is not None:
+        params["pattern_factory"] = pattern_factory
+    return run_experiment(ExperimentSpec(
+        experiment="throughput",
+        n_switches=n_switches,
+        packet_size=packet_size,
+        rates=tuple(rates),
+        duration_ns=duration_ns,
+        warmup_ns=warmup_ns,
+        topo_seed=topo_seed,
+        traffic_seed=traffic_seed,
+        hosts_per_switch=hosts_per_switch,
+        routings=tuple(routings),
+        timings=timings,
+        params=params,
+    ))

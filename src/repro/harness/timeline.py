@@ -10,10 +10,9 @@ happened, not what the timing constants predict.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import-cycle guard
-    from repro.mcp.firmware import TransitPacket
     from repro.sim.trace import Trace
 
 __all__ = ["PacketTimeline", "packet_timeline"]
@@ -58,7 +57,7 @@ class PacketTimeline:
         t0 = self.t0
         span = max(self.span_ns, 1e-9)
         lines = [f"packet {self.pid} — {self.span_ns / 1000:.2f} us"
-                 f" from first record"]
+                 " from first record"]
         for t, component, label in self.events:
             col = round((t - t0) / span * (width - 1))
             strip = "." * col + "#" + "." * (width - 1 - col)

@@ -11,7 +11,6 @@ paper's 2x shows up.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.harness.fig1 import run_fig1
 from repro.harness.fig7 import run_fig7

@@ -33,12 +33,11 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Optional
+from typing import Callable, Deque, Optional
 
 from repro.core.timings import Timings
 from repro.mcp.packet_format import (
     TYPE_GM,
-    TYPE_ITB,
     PacketImage,
     encode_packet,
 )

@@ -26,8 +26,7 @@ the exact header arithmetic the MCP performs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, replace
 
 from repro.routing.routes import ItbRoute, SourceRoute
 

@@ -24,7 +24,6 @@ from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import-cycle guard
     from repro.core.builder import BuiltNetwork
-    from repro.network.worm import Worm
 
 __all__ = ["DeadlockReport", "detect_deadlock", "DeadlockWatchdog"]
 

@@ -24,8 +24,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import-cycle guard
     from repro.core.builder import BuiltNetwork
-    from repro.mcp.firmware import Firmware, TransitPacket
-    from repro.network.worm import Worm
+    from repro.mcp.firmware import Firmware
 
 __all__ = ["FaultPlan", "install_fault_plan"]
 

@@ -29,7 +29,7 @@ flight during one control-symbol round trip.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.sim.engine import Event, Simulator, Timeout

@@ -25,7 +25,7 @@ re-injection starts strictly after reception started.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Protocol
+from typing import Optional, Protocol
 
 from repro.core.timings import Timings
 from repro.mcp.packet_format import PacketImage

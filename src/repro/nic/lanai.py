@@ -14,7 +14,7 @@ counters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional, Union
 
 from repro.core.timings import Timings

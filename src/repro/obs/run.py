@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Union
+from typing import Union
 
 from repro.core.builder import BuiltNetwork, build_network
 from repro.core.config import NetworkConfig

@@ -10,7 +10,9 @@ Implements the routing machinery the paper builds on:
   up*/down* segments at in-transit hosts (:mod:`repro.routing.itb`),
 * channel-dependency-graph deadlock checking (:mod:`repro.routing.cdg`),
 * per-host route tables as stamped into NIC SRAM by the mapper
-  (:mod:`repro.routing.tables`).
+  (:mod:`repro.routing.tables`),
+* a process-safe all-pairs route cache shared across experiment
+  points (:mod:`repro.routing.cache`).
 """
 
 from repro.routing.routes import (
@@ -29,12 +31,18 @@ from repro.routing.cdg import (
     is_deadlock_free,
 )
 from repro.routing.tables import RouteTable, build_route_tables
+from repro.routing.cache import (
+    RouteCache,
+    default_route_cache,
+    topology_signature,
+)
 
 __all__ = [
     "Direction",
     "ItbRoute",
     "ItbRouter",
     "MinimalRouter",
+    "RouteCache",
     "RouteError",
     "RouteTable",
     "SourceRoute",
@@ -44,6 +52,8 @@ __all__ = [
     "build_orientation",
     "build_route_tables",
     "channel_dependency_graph",
+    "default_route_cache",
     "find_dependency_cycle",
     "is_deadlock_free",
+    "topology_signature",
 ]

@@ -1,0 +1,180 @@
+"""Process-safe all-pairs route cache.
+
+Every experiment point that builds a network recomputes the same
+spanning tree, up*/down* search, and ITB all-pairs legalization —
+pure functions of ``(topology, routing kind, spanning-tree root)``.
+On a 16-switch COW that is the dominant setup cost of a point, and a
+load sweep re-pays it per (routing, rate) sample.
+
+:class:`RouteCache` memoizes the mapper's output keyed by a
+structural topology signature, the routing policy name, and the root.
+The cached value is the :class:`~repro.routing.spanning_tree.UpDownOrientation`
+plus the all-pairs route dict; fresh :class:`~repro.routing.tables.RouteTable`
+objects are minted per consumer so NIC-side ``install`` overrides can
+never corrupt the shared entry.
+
+Parallel runs share the cache by **fork inheritance**: the experiment
+runner warms the cache in the parent process before fanning points
+out, so workers find every shared table already present.  The
+hit/miss counters live in ``multiprocessing.Value`` shared memory and
+therefore stay accurate across workers — the acceptance tests assert
+"each shared route table computed at most once" directly on them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import threading
+from typing import Optional
+
+from repro.routing.itb import ItbRouter
+from repro.routing.routes import ItbRoute, RouteError
+from repro.routing.spanning_tree import UpDownOrientation, build_orientation
+from repro.routing.tables import RouteTable
+from repro.routing.updown import UpDownRouter
+from repro.topology.graph import Topology
+
+__all__ = ["RouteCache", "default_route_cache", "topology_signature"]
+
+
+def topology_signature(topo: Topology) -> str:
+    """A stable structural digest of a topology.
+
+    Two topologies built the same way (same generator, same seed) get
+    the same signature even though they are distinct objects — that is
+    what lets a cache entry computed in one process serve points that
+    rebuild the topology from scratch.
+    """
+    parts: list[str] = [topo.name]
+    for node in range(topo.n_nodes):
+        parts.append(f"n{node}:{topo.kind(node).value}:{topo.n_ports(node)}")
+    for link in topo.links:
+        (na, pa), (nb, pb) = link.endpoints()
+        parts.append(f"l{na}.{pa}-{nb}.{pb}:{link.kind.value}")
+    return hashlib.sha1("|".join(parts).encode()).hexdigest()
+
+
+_ROUTERS = {
+    "updown": UpDownRouter,
+    "itb": ItbRouter,
+}
+
+
+class RouteCache:
+    """Memoizes ``(topology, routing, root) -> (orientation, all-pairs routes)``.
+
+    Hit/miss counters are shared memory (``multiprocessing.Value``),
+    so forked worker processes report into the same totals.  The entry
+    dict itself is per-process: the runner warms it in the parent, and
+    forked children inherit the warmed entries copy-on-write.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[str, str, Optional[int]],
+                            tuple[UpDownOrientation,
+                                  dict[tuple[int, int], ItbRoute]]] = {}
+        self._lock = threading.Lock()
+        self._hits = multiprocessing.Value("q", 0)
+        self._misses = multiprocessing.Value("q", 0)
+
+    # -- stats -------------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        """Lookups served from the cache (all processes)."""
+        return int(self._hits.value)
+
+    @property
+    def misses(self) -> int:
+        """Lookups that had to compute routes (all processes)."""
+        return int(self._misses.value)
+
+    def stats(self) -> dict:
+        """Counters plus the number of distinct entries in *this* process."""
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._entries)}
+
+    def reset_stats(self) -> None:
+        """Zero the shared hit/miss counters (entries stay cached)."""
+        with self._hits.get_lock():
+            self._hits.value = 0
+        with self._misses.get_lock():
+            self._misses.value = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- core --------------------------------------------------------------
+
+    def key_for(self, topo: Topology, routing: str,
+                root: Optional[int] = None) -> tuple[str, str, Optional[int]]:
+        """The cache key of one ``(topology, routing, root)`` combo."""
+        return (topology_signature(topo), routing, root)
+
+    def routes_for(
+        self,
+        topo: Topology,
+        routing: str,
+        root: Optional[int] = None,
+    ) -> tuple[UpDownOrientation, dict[tuple[int, int], ItbRoute]]:
+        """The orientation and all-pairs routes, computed at most once.
+
+        The returned pairs dict is the shared entry — treat it as
+        read-only (:meth:`tables_for` mints safe per-consumer tables).
+        """
+        if routing not in _ROUTERS:
+            raise RouteError(f"unknown routing policy {routing!r}")
+        key = self.key_for(topo, routing, root)
+        with self._lock:
+            entry = self._entries.get(key)
+        if entry is not None:
+            with self._hits.get_lock():
+                self._hits.value += 1
+            return entry
+        with self._misses.get_lock():
+            self._misses.value += 1
+        orientation = build_orientation(topo, root=root)
+        router = _ROUTERS[routing](topo, orientation)
+        hosts = topo.hosts()
+        pairs = {
+            (s, d): router.itb_route(s, d)
+            for s in hosts for d in hosts if s != d
+        }
+        with self._lock:
+            self._entries.setdefault(key, (orientation, pairs))
+        return orientation, pairs
+
+    def tables_for(
+        self,
+        topo: Topology,
+        routing: str,
+        root: Optional[int] = None,
+    ) -> tuple[UpDownOrientation, dict[int, RouteTable]]:
+        """Per-host route tables backed by the cached all-pairs routes.
+
+        Tables are fresh objects per call (routes themselves are
+        immutable and shared), so a consumer stamping overrides into
+        its NICs cannot corrupt the cache.
+        """
+        orientation, pairs = self.routes_for(topo, routing, root=root)
+        tables = {h: RouteTable(host=h) for h in topo.hosts()}
+        for (s, d), route in pairs.items():
+            tables[s].install(d, route)
+        return orientation, tables
+
+    def warm(self, topo: Topology, routing: str,
+             root: Optional[int] = None) -> None:
+        """Precompute one entry (the runner calls this before forking)."""
+        self.routes_for(topo, routing, root=root)
+
+
+_DEFAULT_CACHE: Optional[RouteCache] = None
+
+
+def default_route_cache() -> RouteCache:
+    """The process-wide shared cache (created on first use)."""
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None:
+        _DEFAULT_CACHE = RouteCache()
+    return _DEFAULT_CACHE

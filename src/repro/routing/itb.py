@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Sequence
 
-from repro.routing.minimal import all_shortest_switch_paths, switch_distances
+from repro.routing.minimal import all_shortest_switch_paths
 from repro.routing.routes import Direction, ItbRoute, RouteError, SourceRoute
 from repro.routing.spanning_tree import UpDownOrientation, build_orientation
 from repro.routing.updown import UpDownRouter

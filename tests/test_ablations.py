@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.timings import Timings
 from repro.harness.ablations import (
     run_ablation_buffer_pool,
     run_ablation_load,

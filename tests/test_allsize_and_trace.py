@@ -8,7 +8,7 @@ import pytest
 from repro.core.builder import build_network
 from repro.core.config import NetworkConfig
 from repro.core.timings import Timings
-from repro.gm.allsize import PingPongResult, allsize_sweep, ping_pong
+from repro.gm.allsize import PingPongResult, allsize_sweep
 from repro.sim.trace import Trace
 
 

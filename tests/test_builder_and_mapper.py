@@ -127,7 +127,6 @@ class TestMapper:
 
     def test_unknown_routing_rejected(self):
         topo, roles = fig6_testbed()
-        from repro.core.builder import build_network as bn
         from repro.nic.lanai import Nic
         from repro.network.fabric import Fabric
         from repro.sim.engine import Simulator

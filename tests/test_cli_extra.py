@@ -46,6 +46,50 @@ class TestParserDefaults:
         assert "switches discovered" in capsys.readouterr().out
 
 
+class TestRunCommand:
+    def test_run_experiment_by_name(self, capsys):
+        rc = main(["run", "fig7", "--iterations", "2"])
+        assert rc == 0
+        assert "paper ~125 ns" in capsys.readouterr().out
+
+    def test_run_with_jobs_and_save(self, capsys, tmp_path):
+        out_path = tmp_path / "doc.json"
+        rc = main(["run", "root-study", "--switches", "8",
+                   "--jobs", "2", "--save", str(out_path)])
+        assert rc == 0
+        assert out_path.exists()
+        from repro.harness.persist import load_results
+
+        loaded = load_results(out_path)
+        assert len(loaded["root-study"].rows) == 2
+        assert loaded["specs"]["root-study"].experiment == "root-study"
+
+    def test_list_shows_registered_experiments(self, capsys):
+        rc = main(["list"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in ("fig7", "fig8", "throughput", "apps", "root-study"):
+            assert name in out
+
+    def test_unknown_experiment_exits_2_with_choices(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["run", "teleport"])
+        assert exc_info.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err and "fig7" in err
+
+    def test_jobs_zero_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["fig7", "--jobs", "0"])
+        assert exc_info.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_jobs_non_integer_exits_2(self):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["fig7", "--jobs", "many"])
+        assert exc_info.value.code == 2
+
+
 class TestAllCommand:
     def test_all_regenerates_and_saves(self, capsys, tmp_path):
         out_path = tmp_path / "results.json"

@@ -14,7 +14,7 @@ from repro.network.flow_control import (
     required_slack_bytes,
     StopGoStats,
 )
-from repro.sim.engine import Simulator, Timeout
+from repro.sim.engine import Simulator
 
 
 BYTE_NS = 6.25

@@ -8,7 +8,6 @@ from repro.core.builder import build_network
 from repro.core.config import NetworkConfig
 from repro.core.timings import Timings
 from repro.gm.host import GM_MTU, GmSendError
-from repro.sim.engine import Timeout
 
 
 def build(reliable=True, **kw):

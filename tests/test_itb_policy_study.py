@@ -17,7 +17,6 @@ import pytest
 from repro.core.builder import build_network
 from repro.core.config import NetworkConfig
 from repro.core.timings import Timings
-from repro.gm.mapper import run_mapper
 from repro.harness.workloads import drive_traffic
 from repro.routing.itb import ItbRouter, first_host_policy, round_robin_policy
 from repro.routing.spanning_tree import build_orientation

@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.mcp.firmware import McpEventKind
-from repro.sim.engine import Simulator, Timeout
+from repro.sim.engine import Timeout
 from repro.sim.resources import PriorityStore
 
 

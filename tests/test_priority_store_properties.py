@@ -5,7 +5,7 @@ from __future__ import annotations
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim.engine import Simulator, Timeout
+from repro.sim.engine import Simulator
 from repro.sim.resources import PriorityStore
 
 

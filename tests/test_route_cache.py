@@ -1,0 +1,105 @@
+"""Tests for the process-safe route-table cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import build_network
+from repro.routing.cache import (RouteCache, default_route_cache,
+                                 topology_signature)
+from repro.routing.routes import RouteError
+from repro.topology.generators import fig6_testbed, random_irregular
+
+
+class TestTopologySignature:
+    def test_stable_across_rebuilds(self):
+        a = random_irregular(8, seed=11)
+        b = random_irregular(8, seed=11)
+        assert a is not b
+        assert topology_signature(a) == topology_signature(b)
+
+    def test_differs_across_seeds(self):
+        a = random_irregular(8, seed=11)
+        b = random_irregular(8, seed=12)
+        assert topology_signature(a) != topology_signature(b)
+
+    def test_differs_across_shapes(self):
+        a = random_irregular(8, seed=11)
+        b = random_irregular(16, seed=11)
+        assert topology_signature(a) != topology_signature(b)
+
+
+class TestRouteCache:
+    def test_computes_once_per_key(self):
+        cache = RouteCache()
+        topo = random_irregular(8, seed=11)
+        cache.routes_for(topo, "updown")
+        assert cache.misses == 1 and cache.hits == 0
+        # A structurally identical rebuild hits the same entry.
+        rebuilt = random_irregular(8, seed=11)
+        cache.routes_for(rebuilt, "updown")
+        assert cache.misses == 1 and cache.hits == 1
+        # A different routing policy is a different entry.
+        cache.routes_for(topo, "itb")
+        assert cache.misses == 2
+        assert len(cache) == 2
+
+    def test_root_is_part_of_the_key(self):
+        cache = RouteCache()
+        topo = random_irregular(8, seed=11)
+        cache.routes_for(topo, "updown", root=0)
+        cache.routes_for(topo, "updown", root=1)
+        assert cache.misses == 2
+
+    def test_unknown_routing_rejected(self):
+        cache = RouteCache()
+        topo, _roles = fig6_testbed()
+        with pytest.raises(RouteError):
+            cache.routes_for(topo, "teleport")
+
+    def test_tables_are_fresh_per_consumer(self):
+        cache = RouteCache()
+        topo = random_irregular(8, seed=11)
+        _o1, tables1 = cache.tables_for(topo, "updown")
+        _o2, tables2 = cache.tables_for(topo, "updown")
+        hosts = topo.hosts()
+        src, dst = hosts[0], hosts[1]
+        # Stamping an override into one consumer's table must not
+        # leak into the next consumer's: overwrite (src, dst) in
+        # tables1 with the ITB-policy route for the same pair.
+        _orient, ud_pairs = cache.routes_for(topo, "updown")
+        _orient2, itb_pairs = cache.routes_for(topo, "itb")
+        tables1[src].install(dst, itb_pairs[(src, dst)])
+        assert tables2[src].lookup(dst) == ud_pairs[(src, dst)]
+
+    def test_reset_stats_keeps_entries(self):
+        cache = RouteCache()
+        topo = random_irregular(8, seed=11)
+        cache.routes_for(topo, "updown")
+        cache.reset_stats()
+        assert cache.hits == 0 and cache.misses == 0
+        assert len(cache) == 1
+
+    def test_default_cache_is_singleton(self):
+        assert default_route_cache() is default_route_cache()
+
+
+class TestCachedBuildEquivalence:
+    def test_cached_build_matches_uncached(self):
+        """The same measurement on cached and uncached builds agrees
+        exactly — the cache changes where routes come from, not what
+        they are."""
+        cache = RouteCache()
+        plain = build_network("fig6")
+        cached = build_network("fig6", route_cache=cache)
+        r_plain = plain.ping_pong("host1", "host2", size=64, iterations=3)
+        r_cached = cached.ping_pong("host1", "host2", size=64, iterations=3)
+        assert r_cached.mean_ns == r_plain.mean_ns
+
+    def test_second_cached_build_hits(self):
+        cache = RouteCache()
+        build_network("fig6", route_cache=cache)
+        misses_after_first = cache.misses
+        build_network("fig6", route_cache=cache)
+        assert cache.misses == misses_after_first
+        assert cache.hits >= 1

@@ -7,11 +7,8 @@ import pytest
 from repro.sim.engine import (
     AllOf,
     AnyOf,
-    Event,
     Interrupt,
-    Process,
     SimulationError,
-    Simulator,
     Timeout,
 )
 

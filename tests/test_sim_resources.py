@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.sim.engine import SimulationError, Simulator, Timeout
+from repro.sim.engine import SimulationError, Timeout
 from repro.sim.resources import Resource, Store
 
 

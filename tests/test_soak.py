@@ -16,7 +16,7 @@ import pytest
 from repro.core.builder import build_network
 from repro.core.config import NetworkConfig
 from repro.core.timings import Timings
-from repro.harness.workloads import drive_traffic, uniform_traffic
+from repro.harness.workloads import drive_traffic
 from repro.topology.generators import random_irregular
 
 SOAK = os.environ.get("REPRO_SOAK", "0") == "1"

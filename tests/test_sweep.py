@@ -7,6 +7,18 @@ import pytest
 from repro.harness.sweep import SweepPoint, sweep
 
 
+def _square(a):
+    """Module-level measure fn (picklable, so it can fan out)."""
+    return a * a
+
+
+def _fragile(a):
+    """Module-level measure fn that fails on one point."""
+    if a == 2:
+        raise RuntimeError("boom at a=2")
+    return a * 10
+
+
 class TestSweep:
     def test_cartesian_product_in_order(self):
         calls = []
@@ -77,6 +89,44 @@ class TestSweep:
         result = sweep(lambda a: (a, a * 2), {"a": [1, 2]})
         rows = result.table_rows(extract=lambda v: [v[1]])
         assert rows == [(1, 2), (2, 4)]
+
+    def test_raising_fn_marks_point_not_ok_without_aborting(self):
+        """A raising measure function fails its point, not the sweep."""
+        result = sweep(_fragile, {"a": [1, 2, 3]}, isolate_errors=True)
+        assert len(result) == 3
+        assert [p.ok for p in result.points] == [True, False, True]
+        assert [p.value for p in result.points] == [10, None, 30]
+        # The exception message is captured on the failed point...
+        assert "boom at a=2" in result.points[1].error
+        # ... and surfaced by the tabulation helpers.
+        rows = result.table_rows(extract=lambda v: [v])
+        assert rows[1] == (2, "ERROR: RuntimeError('boom at a=2')")
+        assert result.failures == [result.points[1]]
+
+
+class TestParallelSweep:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            sweep(_square, {"a": [1, 2]}, jobs=0)
+
+    def test_parallel_matches_serial(self):
+        serial = sweep(_square, {"a": [1, 2, 3, 4]})
+        parallel = sweep(_square, {"a": [1, 2, 3, 4]}, jobs=4)
+        assert [p.value for p in parallel.points] == \
+            [p.value for p in serial.points]
+        assert [p.params for p in parallel.points] == \
+            [p.params for p in serial.points]
+
+    def test_parallel_error_isolation(self):
+        result = sweep(_fragile, {"a": [1, 2, 3]}, jobs=3,
+                       isolate_errors=True)
+        assert [p.ok for p in result.points] == [True, False, True]
+        assert "boom at a=2" in result.points[1].error
+
+    def test_parallel_on_point_in_order(self):
+        seen: list[SweepPoint] = []
+        sweep(_square, {"a": [5, 6, 7]}, jobs=2, on_point=seen.append)
+        assert [p.params["a"] for p in seen] == [5, 6, 7]
 
 
 class TestSweepWithSimulator:

@@ -2,13 +2,12 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.builder import build_network
 from repro.core.config import NetworkConfig
 from repro.core.timings import Timings
 from repro.harness.paths import fig6_paths
-from repro.harness.timeline import PacketTimeline, packet_timeline
+from repro.harness.timeline import packet_timeline
 from repro.sim.trace import Trace
 
 

@@ -8,10 +8,12 @@ representative end-to-end network run.
 
 from __future__ import annotations
 
+import time
+
 from repro.core.builder import build_network
 from repro.core.config import NetworkConfig
 from repro.core.timings import Timings
-from repro.sim.engine import Simulator, Timeout
+from repro.sim.engine import Event, Simulator, Timeout
 from repro.sim.resources import Resource
 
 
@@ -78,6 +80,78 @@ def test_bench_resource_contention(benchmark):
 
     n = benchmark(run)
     assert n == 40
+
+
+def _churn_fast(n_procs: int, n_ticks: int) -> int:
+    """Timeout churn on the fast path: direct-from-calendar resume."""
+    sim = Simulator()
+    done = {"n": 0}
+
+    def worker():
+        for _ in range(n_ticks):
+            yield Timeout(1.0)
+        done["n"] += 1
+
+    for _ in range(n_procs):
+        sim.process(worker())
+    sim.run()
+    return done["n"]
+
+
+def _churn_legacy(n_procs: int, n_ticks: int) -> int:
+    """The same workload through the retired resume shape: one Event
+    allocated per delay, and two calendar-heap round trips — the timer
+    itself plus the succeed->resume dispatch hop, which the old engine
+    also pushed through the heap.  Non-default priority keeps both
+    entries off the immediate lane."""
+    sim = Simulator()
+    done = {"n": 0}
+
+    def worker():
+        for _ in range(n_ticks):
+            ev = Event(sim, name="timeout")
+            sim.schedule(
+                1.0,
+                lambda ev=ev: sim.schedule(0.0, ev.succeed, priority=1),
+                priority=1,
+            )
+            yield ev
+        done["n"] += 1
+
+    for _ in range(n_procs):
+        sim.process(worker())
+    sim.run()
+    return done["n"]
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_bench_calendar_churn_speedup(benchmark, bench_headline):
+    """The tentpole guard: timeout-heavy calendar churn must run at
+    least 2x faster on the direct-resume + immediate-lane path than
+    through the legacy Event-per-timeout shape."""
+    n_procs, n_ticks = 100, 400
+
+    n = benchmark(lambda: _churn_fast(n_procs, n_ticks))
+    assert n == n_procs
+
+    fast = _best_of(lambda: _churn_fast(n_procs, n_ticks))
+    legacy = _best_of(lambda: _churn_legacy(n_procs, n_ticks))
+    ratio = legacy / fast
+    bench_headline["speedup_ratio"] = round(ratio, 3)
+    bench_headline["fast_s"] = round(fast, 6)
+    bench_headline["legacy_s"] = round(legacy, 6)
+    assert ratio >= 2.0, (
+        f"fast path only {ratio:.2f}x over legacy resume shape"
+        f" (fast {fast * 1e3:.1f} ms, legacy {legacy * 1e3:.1f} ms)"
+    )
 
 
 def test_bench_end_to_end_pingpong(benchmark):

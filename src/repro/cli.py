@@ -20,7 +20,10 @@ experiment:
   (``--save results.json``) for EXPERIMENTS.md refreshes,
 * ``obs`` — run an instrumented workload and dump the unified
   telemetry (metrics, sampled time series, engine profile) as
-  Prometheus text, JSON, CSV, and a chrome trace with counter tracks.
+  Prometheus text, JSON, CSV, and a chrome trace with counter tracks,
+* ``bench-report`` — tabulate the ``BENCH_*.json`` trajectory files
+  the benchmark suite writes, optionally failing on speedup-ratio
+  regressions against a committed baseline.
 """
 
 from __future__ import annotations
@@ -225,6 +228,65 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _cmd_bench_report(args) -> int:
+    """Tabulate ``BENCH_<group>.json`` trajectory files (written by the
+    benchmark suite's session fixture) and, with ``--baseline``, fail
+    on speedup-ratio regressions beyond ``--tolerance``."""
+    import json
+    from pathlib import Path
+
+    bench_dir = Path(args.dir)
+    files = sorted(bench_dir.glob("BENCH_*.json"))
+    if not files:
+        print(f"no BENCH_*.json files under {bench_dir}", file=sys.stderr)
+        return 2
+
+    rows = []
+    ratios: dict[str, dict[str, float]] = {}
+    for path in files:
+        doc = json.loads(path.read_text())
+        group = doc.get("group", path.stem.removeprefix("BENCH_"))
+        for test, rec in sorted(doc.get("records", {}).items()):
+            mean = rec.get("mean_s")
+            ratio = rec.get("speedup_ratio")
+            rows.append((
+                group, test,
+                f"{mean * 1e3:.2f}" if mean is not None else "-",
+                f"{rec.get('wall_s', 0.0):.2f}",
+                f"{ratio:.2f}x" if ratio is not None else "-",
+            ))
+            if ratio is not None:
+                ratios.setdefault(group, {})[test] = ratio
+    print(format_table(
+        ["group", "benchmark", "mean (ms)", "wall (s)", "speedup"],
+        rows, title=f"benchmark trajectory ({len(files)} groups)",
+    ))
+
+    if not args.baseline:
+        return 0
+    baseline = json.loads(Path(args.baseline).read_text())
+    failures = []
+    for group, tests in baseline.items():
+        for test, expected in tests.items():
+            floor = expected * (1.0 - args.tolerance)
+            measured = ratios.get(group, {}).get(test)
+            if measured is None:
+                failures.append(f"{group}:{test}: no measured speedup ratio")
+            elif measured < floor:
+                failures.append(
+                    f"{group}:{test}: {measured:.2f}x is below"
+                    f" {floor:.2f}x (baseline {expected:.2f}x"
+                    f" - {args.tolerance:.0%} tolerance)"
+                )
+    if failures:
+        print("\nbench-report: REGRESSION", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"\nbench-report: within {args.tolerance:.0%} of baseline")
+    return 0
+
+
 def _cmd_discover(args) -> int:
     from repro.core.builder import build_network
     from repro.gm.discovery import discover_network
@@ -333,6 +395,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", type=str, default="",
                    help="directory for the exporter dumps")
     p.set_defaults(func=_cmd_obs)
+
+    p = sub.add_parser("bench-report", help="tabulate BENCH_*.json benchmark"
+                                            " trajectories; check a baseline")
+    p.add_argument("--dir", type=str, default=".",
+                   help="directory holding BENCH_*.json files")
+    p.add_argument("--baseline", type=str, default="",
+                   help="JSON file of group -> test -> expected speedup"
+                        " ratio; exit 1 on regression")
+    p.add_argument("--tolerance", type=float, default=0.25,
+                   help="allowed fractional regression vs baseline")
+    p.set_defaults(func=_cmd_bench_report)
 
     p = sub.add_parser("discover", help="run the mapper's exploration")
     p.add_argument("--topology", choices=("fig6", "random"),

@@ -35,6 +35,29 @@ from repro.sim.engine import Simulator, Timeout
 
 __all__ = ["Worm", "WormObserver"]
 
+#: Tolerance for accumulated float rounding in head-arrival schedules.
+#: ``head_at_input`` is built by summing hop latencies while ``sim.now``
+#: advances through the same quantities in a different association
+#: order, so their difference can go epsilon-negative on long routes.
+TIME_EPS_NS = 1e-6
+
+
+def _forward_delay(target_ns: float, now_ns: float) -> float:
+    """``target_ns - now_ns`` clamped against float rounding.
+
+    Deltas in ``(-TIME_EPS_NS, 0)`` are rounding noise and clamp to
+    zero; anything more negative is a real scheduling bug and raises.
+    """
+    delta = target_ns - now_ns
+    if delta >= 0.0:
+        return delta
+    if delta > -TIME_EPS_NS:
+        return 0.0
+    raise AssertionError(
+        f"worm scheduled into the past: target {target_ns} is"
+        f" {-delta} ns before now {now_ns}"
+    )
+
 
 class WormObserver(Protocol):
     """Destination-side hooks (implemented by the NIC firmware).
@@ -132,8 +155,9 @@ class Worm:
             out = fabric.out_channel(switch, port)
             # Routing decision + crossbar setup happen as the header
             # arrives; the output may be busy (wormhole blocking).
-            if head_at_input > sim.now:
-                yield Timeout(head_at_input - sim.now)
+            delay = _forward_delay(head_at_input, sim.now)
+            if delay > 0.0:
+                yield Timeout(delay)
             block_start = sim.now
             yield from self._acquire(out)
             self.blocked_ns += sim.now - block_start
@@ -142,8 +166,9 @@ class Worm:
             in_channel = out
 
         # Head (first byte past all switches) reaches the destination NIC.
-        if head_at_input > sim.now:
-            yield Timeout(head_at_input - sim.now)
+        delay = _forward_delay(head_at_input, sim.now)
+        if delay > 0.0:
+            yield Timeout(delay)
         self.header_time = sim.now
         self.image = image  # route bytes consumed; NIC sees type first
 

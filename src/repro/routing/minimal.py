@@ -17,14 +17,24 @@ __all__ = ["MinimalRouter", "all_shortest_switch_paths"]
 
 
 def _switch_adjacency(topo: Topology) -> dict[int, list[int]]:
-    return {
+    """Switch-to-switch adjacency, memoized on the topology.
+
+    Route computation asks for this once per host pair; the memo turns
+    the repeated rebuild into a dictionary hit.  Treat as immutable.
+    """
+    return topo.derived("switch_adjacency", lambda: {
         s: sorted({n for (_p, n, _l) in topo.switch_neighbors(s)})
         for s in topo.switches()
-    }
+    })
 
 
 def switch_distances(topo: Topology, src_switch: int) -> dict[int, int]:
-    """BFS hop distances over the switch fabric."""
+    """BFS hop distances over the switch fabric (memoized per source)."""
+    return topo.derived(("switch_distances", src_switch),
+                        lambda: _bfs_distances(topo, src_switch))
+
+
+def _bfs_distances(topo: Topology, src_switch: int) -> dict[int, int]:
     adj = _switch_adjacency(topo)
     dist = {src_switch: 0}
     q = deque([src_switch])

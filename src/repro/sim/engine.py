@@ -2,10 +2,19 @@
 
 Design
 ------
-The engine is a classic event-calendar loop built on :mod:`heapq`.  Each
-scheduled entry is ``(time, priority, seq, callback)``; ``seq`` is a
-monotonically increasing tie-breaker that makes execution order fully
-deterministic for equal timestamps.
+The engine is an event-calendar loop with two lanes:
+
+* a :mod:`heapq` calendar for *delayed* work — each entry is
+  ``(time, priority, seq, callback)``; ``seq`` is a monotonically
+  increasing tie-breaker that makes execution order fully
+  deterministic for equal timestamps;
+* an *immediate lane* — a FIFO :class:`~collections.deque` for
+  zero-delay, default-priority work (event fan-out, process start,
+  interrupts, the succeed→resume chain).  Entries carry their ``seq``
+  so the drain loop can interleave the two lanes in exact global
+  ``(time, priority, seq)`` order, but the common case skips the heap
+  entirely: a zero-delay callback costs one ``deque.append`` and one
+  ``popleft`` instead of a ``heappush``/``heappop`` pair.
 
 Processes are Python generators that yield *waitables*:
 
@@ -14,21 +23,31 @@ Processes are Python generators that yield *waitables*:
 * another :class:`Process` — resume when it terminates (join),
 * :class:`AllOf` / :class:`AnyOf` — composite conditions.
 
+A process waiting on a :class:`Timeout` is resumed *directly from the
+calendar*: no intermediate :class:`Event` is allocated and no callback
+trampoline is scheduled — the timer entry steps the generator itself
+(see :meth:`Process._wait_timeout`).  Stale timers left behind by an
+interrupt are invalidated by a per-process wait token.
+
 The generator protocol means process code reads like straight-line
 firmware pseudocode, which is exactly what we need to transliterate the
 MCP state machines from the paper.
 
 Profiling: a :class:`repro.obs.profiler.Profiler` may be installed on
-a simulator (``profiler.install(sim)``); the run loops then route
-every dispatch through it, and processes self-report which one stepped
-during a dispatch, giving per-component event counts and wall-clock
-attribution with zero cost when no profiler is installed.
+a simulator (``profiler.install(sim)``); the drain loop then routes
+every dispatch — from either lane — through it, and processes
+self-report which one stepped during a dispatch, giving per-component
+event counts and wall-clock attribution with zero cost when no
+profiler is installed.
+
+See ``docs/ENGINE_FASTPATH.md`` for the fast-path design notes.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+from collections import deque
+from typing import Any, Callable, Deque, Generator, Iterable, Optional
 
 __all__ = [
     "AllOf",
@@ -177,7 +196,8 @@ class Process:
     process's return value delivered as the yield result.
     """
 
-    __slots__ = ("sim", "gen", "name", "_done", "_waiting_on", "_return")
+    __slots__ = ("sim", "gen", "name", "_done", "_waiting_on", "_return",
+                 "_wait_token")
 
     def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = "") -> None:
         self.sim = sim
@@ -186,6 +206,7 @@ class Process:
         self._done = Event(sim, name=f"done:{self.name}")
         self._waiting_on: Optional[Event] = None
         self._return: Any = None
+        self._wait_token = 0
 
     # -- public API ----------------------------------------------------
 
@@ -218,9 +239,15 @@ class Process:
         self._step(None)
 
     def _throw(self, exc: BaseException) -> None:
+        """Throw ``exc`` into the generator (detaching from any wait).
+
+        Safe against late delivery: a no-op once the process has
+        terminated.  Also invalidates any pending direct-resume timer.
+        """
         if not self.alive:
             return  # terminated between scheduling and delivery
         self._waiting_on = None
+        self._wait_token += 1
         if self.sim.profiler is not None:
             self.sim.profiler.attribute(self.name)
         try:
@@ -251,42 +278,53 @@ class Process:
             return  # stale wakeup (e.g. interrupted while waiting)
         self._waiting_on = None
         if event._exc is not None:
-            self._throw_now(event._exc)
+            self._throw(event._exc)
         else:
             self._step(event.value)
 
-    def _throw_now(self, exc: BaseException) -> None:
-        if self.sim.profiler is not None:
-            self.sim.profiler.attribute(self.name)
-        try:
-            target = self.gen.throw(exc)
-        except StopIteration as stop:
-            self._finish(stop.value)
-            return
-        except BaseException as err:
-            self._crash(err)
-            return
-        self._wait_on(target)
-
     def _wait_on(self, target: Any) -> None:
-        if isinstance(target, Timeout):
-            ev = Event(self.sim, name="timeout")
-            self.sim.schedule(target.delay, lambda: ev.succeed(target.value))
-            self._attach(ev)
-        elif isinstance(target, Event):
-            self._attach(target)
-        elif isinstance(target, Process):
-            self._attach(target._done)
-        elif isinstance(target, AllOf):
-            self._attach(self._make_all_of(target))
-        elif isinstance(target, AnyOf):
-            self._attach(self._make_any_of(target))
-        else:
-            self._crash(
-                SimulationError(
-                    f"process {self.name!r} yielded non-waitable {target!r}"
+        """Suspend on ``target`` — type-keyed dispatch, no isinstance chain."""
+        self._wait_token += 1
+        handler = _WAIT_DISPATCH.get(target.__class__)
+        if handler is None:
+            handler = _resolve_wait_handler(target)
+            if handler is None:
+                self._crash(
+                    SimulationError(
+                        f"process {self.name!r} yielded non-waitable {target!r}"
+                    )
                 )
-            )
+                return
+        handler(self, target)
+
+    def _wait_timeout(self, target: Timeout) -> None:
+        """Direct-resume path: the calendar entry steps the generator.
+
+        No intermediate :class:`Event`, no trampoline — one scheduled
+        closure.  ``_wait_token`` guards against a stale timer firing
+        after the process was interrupted (or moved on to a new wait).
+        """
+        token = self._wait_token
+        value = target.value
+        self.sim.schedule(target.delay,
+                          lambda: self._resume_from_timeout(token, value))
+
+    def _resume_from_timeout(self, token: int, value: Any) -> None:
+        if token != self._wait_token or self._done.triggered:
+            return  # stale timer (interrupted, or wait superseded)
+        self._step(value)
+
+    def _wait_event(self, target: Event) -> None:
+        self._attach(target)
+
+    def _wait_process(self, target: "Process") -> None:
+        self._attach(target._done)
+
+    def _wait_all_of(self, target: AllOf) -> None:
+        self._attach(self._make_all_of(target))
+
+    def _wait_any_of(self, target: AnyOf) -> None:
+        self._attach(self._make_any_of(target))
 
     def _attach(self, ev: Event) -> None:
         self._waiting_on = ev
@@ -338,6 +376,31 @@ class Process:
         return f"<Process {self.name!r} {'alive' if self.alive else 'done'}>"
 
 
+#: Exact-type dispatch table for ``Process._wait_on``.  Subclasses of
+#: waitables are resolved once through the isinstance fallback below and
+#: then memoized here, so the steady state is a single dict lookup.
+_WAIT_DISPATCH: dict[type, Callable[[Process, Any], None]] = {
+    Timeout: Process._wait_timeout,
+    Event: Process._wait_event,
+    Process: Process._wait_process,
+    AllOf: Process._wait_all_of,
+    AnyOf: Process._wait_any_of,
+}
+
+
+def _resolve_wait_handler(target: Any) -> Optional[Callable[[Process, Any], None]]:
+    """Slow path: resolve (and memoize) a handler for waitable subclasses."""
+    for base, handler in ((Timeout, Process._wait_timeout),
+                          (Event, Process._wait_event),
+                          (Process, Process._wait_process),
+                          (AllOf, Process._wait_all_of),
+                          (AnyOf, Process._wait_any_of)):
+        if isinstance(target, base):
+            _WAIT_DISPATCH[target.__class__] = handler
+            return handler
+    return None
+
+
 class Simulator:
     """The event loop.
 
@@ -358,6 +421,10 @@ class Simulator:
     def __init__(self, trace: Any = None) -> None:
         self._now = 0.0
         self._queue: list[tuple[float, int, int, Callable[[], None]]] = []
+        #: Immediate lane: zero-delay, priority-0 callbacks at the
+        #: current time, drained in FIFO ``seq`` order interleaved with
+        #: same-time calendar entries.
+        self._immediate: Deque[tuple[int, Callable[[], None]]] = deque()
         self._seq = 0
         self._crashed: list[tuple[Process, BaseException]] = []
         self.trace = trace
@@ -370,14 +437,28 @@ class Simulator:
         """Current simulation time in nanoseconds."""
         return self._now
 
+    @property
+    def pending(self) -> int:
+        """Number of scheduled-but-undispatched callbacks (both lanes)."""
+        return len(self._queue) + len(self._immediate)
+
     def schedule(
         self, delay: float, callback: Callable[[], None], priority: int = 0
     ) -> None:
-        """Run ``callback`` after ``delay`` ns (FIFO among equal times)."""
+        """Run ``callback`` after ``delay`` ns (FIFO among equal times).
+
+        Zero-delay, default-priority work goes to the immediate lane
+        (a deque) instead of the heap; global ``(time, priority, seq)``
+        order is preserved either way.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, callback))
+        if delay == 0.0 and priority == 0:
+            self._immediate.append((self._seq, callback))
+        else:
+            heapq.heappush(self._queue,
+                           (self._now + delay, priority, self._seq, callback))
 
     def event(self, name: str = "") -> Event:
         """A fresh untriggered event bound to this simulator."""
@@ -391,6 +472,65 @@ class Simulator:
 
     # -- running ---------------------------------------------------------
 
+    def _drain(
+        self,
+        until: Optional[float],
+        max_events: int,
+        stop_event: Optional[Event],
+    ) -> None:
+        """The single dispatch loop behind :meth:`run` and
+        :meth:`run_until_event`.
+
+        Pops the globally next callback — immediate lane or calendar,
+        whichever holds the lowest ``(time, priority, seq)`` — and runs
+        it (through the profiler when installed).  Stops when the
+        calendar is exhausted, the next entry is past ``until``, or
+        ``stop_event`` has triggered.
+        """
+        queue = self._queue
+        immediate = self._immediate
+        dispatched = 0
+        while True:
+            if stop_event is not None and stop_event.triggered:
+                return
+            if immediate:
+                # All immediate entries sit at (self._now, priority 0);
+                # a calendar entry only precedes the lane head when it
+                # is due now with higher priority or an earlier seq.
+                callback = None
+                if queue:
+                    t, prio, seq, cb = queue[0]
+                    if t <= self._now and (prio < 0 or
+                                           (prio == 0 and seq < immediate[0][0])):
+                        heapq.heappop(queue)
+                        callback = cb
+                if callback is None:
+                    _seq, callback = immediate.popleft()
+            elif queue:
+                t, _prio, _seq, callback = queue[0]
+                if until is not None and t > until:
+                    return
+                heapq.heappop(queue)
+                self._now = t
+            else:
+                if stop_event is not None:
+                    raise SimulationError(
+                        f"deadlock: calendar empty but event"
+                        f" {stop_event.name!r} never fired"
+                    )
+                return
+            if self.profiler is None:
+                callback()
+            else:
+                self.profiler.dispatch(callback)
+            if self._crashed:
+                self._check_crashes()
+            dispatched += 1
+            if dispatched >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; runaway simulation?"
+                )
+
     def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
         """Drain the event calendar.
 
@@ -402,23 +542,7 @@ class Simulator:
         unhandled exception during the run, the first such exception is
         re-raised so errors are never silently swallowed.
         """
-        dispatched = 0
-        while self._queue:
-            time, _prio, _seq, callback = self._queue[0]
-            if until is not None and time > until:
-                break
-            heapq.heappop(self._queue)
-            self._now = time
-            if self.profiler is None:
-                callback()
-            else:
-                self.profiler.dispatch(callback)
-            self._check_crashes()
-            dispatched += 1
-            if dispatched >= max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events}; runaway simulation?"
-                )
+        self._drain(until, max_events, None)
         if until is not None and self._now < until:
             self._now = until
         return self._now
@@ -430,24 +554,7 @@ class Simulator:
 
         Raises if the calendar drains without the event triggering.
         """
-        dispatched = 0
-        while not event.triggered:
-            if not self._queue:
-                raise SimulationError(
-                    f"deadlock: calendar empty but event {event.name!r} never fired"
-                )
-            time, _prio, _seq, callback = heapq.heappop(self._queue)
-            self._now = time
-            if self.profiler is None:
-                callback()
-            else:
-                self.profiler.dispatch(callback)
-            self._check_crashes()
-            dispatched += 1
-            if dispatched >= max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events}; runaway simulation?"
-                )
+        self._drain(None, max_events, event)
         if event._exc is not None:
             raise event._exc
         return event.value
@@ -465,4 +572,5 @@ class Simulator:
             ) from exc
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Simulator t={self._now:.1f}ns pending={len(self._queue)}>"
+        return (f"<Simulator t={self._now:.1f}ns"
+                f" pending={len(self._queue) + len(self._immediate)}>")

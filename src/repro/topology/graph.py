@@ -130,6 +130,34 @@ class Topology:
         self.name = name
         self._nodes: list[_Node] = []
         self._links: list[Link] = []
+        self._derived: dict = {}
+
+    # ------------------------------------------------------------------
+    # derived-data memoization
+    # ------------------------------------------------------------------
+
+    def derived(self, key, build):
+        """Memoize pure topology-derived data under ``key``.
+
+        Nodes and links are append-only, so ``(n_nodes, n_links)`` is a
+        complete mutation signature: any construction call changes it
+        and invalidates every cached entry.  Cached values are shared —
+        callers must treat them as immutable.
+
+        Routing (adjacency, BFS distances) and the query helpers below
+        are called per host pair during route computation; memoizing
+        them turns the route-warm phase from quadratic re-derivation
+        into dictionary lookups.
+        """
+        # setdefault keeps instances deserialized from older pickles working.
+        cache = self.__dict__.setdefault("_derived", {})
+        sig = (len(self._nodes), len(self._links))
+        hit = cache.get(key)
+        if hit is not None and hit[0] == sig:
+            return hit[1]
+        value = build()
+        cache[key] = (sig, value)
+        return value
 
     # ------------------------------------------------------------------
     # construction
@@ -271,8 +299,13 @@ class Topology:
         """(port, far_node, link) triples, sorted by port number.
 
         A loopback cable contributes two entries (one per port), both
-        with ``far_node == node_id``.
+        with ``far_node == node_id``.  The returned list is memoized —
+        treat it as immutable.
         """
+        return self.derived(("neighbors", node_id),
+                            lambda: self._build_neighbors(node_id))
+
+    def _build_neighbors(self, node_id: int) -> list[tuple[int, int, Link]]:
         out = []
         for port, link in self.ports_of(node_id).items():
             far_node, _far_port = link.far_end(node_id, port)
@@ -284,19 +317,23 @@ class Topology:
 
         Loopback cables are excluded: routing algorithms never use
         them (they exist only for hand-built latency-equalization
-        routes, per the paper's Figure 8 methodology).
+        routes, per the paper's Figure 8 methodology).  Memoized —
+        treat the returned list as immutable.
         """
-        return [
+        return self.derived(("switch_neighbors", switch), lambda: [
             (p, n, l)
             for (p, n, l) in self.neighbors(switch)
             if self.is_switch(n) and not l.is_loop
-        ]
+        ])
 
     def hosts_on(self, switch: int) -> list[int]:
-        """Hosts directly attached to ``switch`` (sorted by id)."""
-        return sorted(
+        """Hosts directly attached to ``switch`` (sorted by id).
+
+        Memoized — treat the returned list as immutable.
+        """
+        return self.derived(("hosts_on", switch), lambda: sorted(
             n for (_p, n, _l) in self.neighbors(switch) if self.is_host(n)
-        )
+        ))
 
     def switch_of(self, host: int) -> int:
         """The switch a host's NIC is cabled to."""
@@ -322,13 +359,20 @@ class Topology:
         """All parallel cables between two nodes (sorted by link id).
 
         With ``node_a == node_b`` this returns the loopback cables of
-        that switch.
+        that switch.  Memoized — treat the returned list as immutable.
         """
-        return [
-            l
-            for l in self._links
-            if {l.node_a, l.node_b} == {node_a, node_b}
-        ]
+        index = self.derived("links_between", self._build_link_index)
+        if node_a <= node_b:
+            return index.get((node_a, node_b), [])
+        return index.get((node_b, node_a), [])
+
+    def _build_link_index(self) -> dict[tuple[int, int], list[Link]]:
+        index: dict[tuple[int, int], list[Link]] = {}
+        for link in self._links:
+            a, b = link.node_a, link.node_b
+            key = (a, b) if a <= b else (b, a)
+            index.setdefault(key, []).append(link)
+        return index
 
     def port_toward(self, node_a: int, node_b: int) -> int:
         """Output port on ``node_a`` of the lowest-id link to ``node_b``."""

@@ -1,0 +1,248 @@
+"""Burst-advancement Stop&Go model vs the per-byte reference oracle.
+
+``repro.network.flow_control`` replays byte dynamics on a private
+micro-calendar and skips repeating cycles in closed form.  The retired
+generator implementation — two processes waking every byte time on the
+real calendar — is preserved here verbatim as the oracle, and every
+scenario checks that the new model emits *bit-identical*
+:class:`StopGoStats` (counters, ``max_slack_occupancy``, and float
+stall durations), both mid-run and at completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import astuple
+from typing import Optional
+
+import pytest
+
+from repro.network.flow_control import StopGoChannel, StopGoStats
+from repro.sim.engine import Event, Simulator, Timeout
+
+
+class _ReferenceStopGoChannel:
+    """The original per-byte generator model (oracle, kept verbatim)."""
+
+    def __init__(self, sim, prop_ns, byte_ns, slack_bytes=None,
+                 stop_threshold=None, go_threshold=None):
+        from repro.network.flow_control import required_slack_bytes
+        self.sim = sim
+        self.prop_ns = prop_ns
+        self.byte_ns = byte_ns
+        self.slack_bytes = slack_bytes if slack_bytes is not None else \
+            required_slack_bytes(prop_ns, byte_ns)
+        self.stop_threshold = (stop_threshold if stop_threshold is not None
+                               else max(1, self.slack_bytes // 2))
+        self.go_threshold = (go_threshold if go_threshold is not None
+                             else max(0, self.stop_threshold // 2))
+        if not (0 <= self.go_threshold < self.stop_threshold
+                <= self.slack_bytes):
+            raise ValueError("need 0 <= go < stop <= slack")
+        self.stats = StopGoStats()
+        self._occupancy = 0
+        self._sender_stopped = False
+        self._receiver_blocked = False
+        self._done: Optional[Event] = None
+
+    def block_receiver(self):
+        self._receiver_blocked = True
+
+    def unblock_receiver(self):
+        self._receiver_blocked = False
+
+    @property
+    def slack_occupancy(self):
+        return self._occupancy
+
+    def transfer(self, n_bytes):
+        if self._done is not None:
+            raise RuntimeError("one transfer at a time on this channel")
+        self._done = Event(self.sim, name="stopgo-done")
+        self.sim.process(self._sender(n_bytes), name="stopgo-send")
+        self.sim.process(self._receiver(n_bytes), name="stopgo-recv")
+        return self._done
+
+    def _sender(self, n_bytes):
+        stall_started: Optional[float] = None
+        while self.stats.bytes_sent < n_bytes:
+            if self._sender_stopped:
+                if stall_started is None:
+                    stall_started = self.sim.now
+                yield Timeout(self.byte_ns)
+                continue
+            if stall_started is not None:
+                self.stats.sender_stalled_ns += self.sim.now - stall_started
+                stall_started = None
+            yield Timeout(self.byte_ns)
+            self.stats.bytes_sent += 1
+            self.sim.schedule(self.prop_ns, self._byte_arrives)
+
+    def _byte_arrives(self):
+        self._occupancy += 1
+        self.stats.max_slack_occupancy = max(
+            self.stats.max_slack_occupancy, self._occupancy)
+        if self._occupancy > self.slack_bytes:
+            raise RuntimeError(
+                "slack overrun: Stop&Go failed to protect the buffer"
+                f" (occupancy {self._occupancy} > {self.slack_bytes})"
+            )
+        if self._occupancy >= self.stop_threshold and not self._sender_stopped:
+            self.stats.stops_sent += 1
+            self.sim.schedule(self.prop_ns, self._set_stop)
+
+    def _set_stop(self):
+        self._sender_stopped = True
+
+    def _set_go(self):
+        self._sender_stopped = False
+
+    def _receiver(self, n_bytes):
+        while self.stats.bytes_delivered < n_bytes:
+            if self._receiver_blocked or self._occupancy == 0:
+                yield Timeout(self.byte_ns)
+                continue
+            yield Timeout(self.byte_ns)
+            if self._receiver_blocked or self._occupancy == 0:
+                continue
+            self._occupancy -= 1
+            self.stats.bytes_delivered += 1
+            if (self._sender_stopped
+                    and self._occupancy <= self.go_threshold):
+                self.stats.gos_sent += 1
+                self.sim.schedule(self.prop_ns, self._set_go)
+        done, self._done = self._done, None
+        if done is not None and not done.triggered:
+            done.succeed(self.stats)
+
+
+def _run_scenario(channel_cls, *, prop_ns, byte_ns, n_bytes, blocks=(),
+                  probes=(), channel_kw=None):
+    """Run one transfer; return (completion time, final stats tuple,
+    probe samples).  ``blocks`` is a list of (time, "block"|"unblock");
+    ``probes`` is a list of off-lattice times at which (stats,
+    occupancy) are sampled, exactly as a test callback would."""
+    sim = Simulator()
+    ch = channel_cls(sim, prop_ns=prop_ns, byte_ns=byte_ns,
+                     **(channel_kw or {}))
+    for when, action in blocks:
+        fn = ch.block_receiver if action == "block" else ch.unblock_receiver
+        sim.schedule(when, fn)
+    samples = []
+    for when in probes:
+        sim.schedule(
+            when,
+            lambda w=when: samples.append(
+                (w, astuple(ch.stats), ch.slack_occupancy)),
+        )
+    done = ch.transfer(n_bytes)
+    value = sim.run_until_event(done)
+    # Late control callbacks may still sit on the calendar; the oracle
+    # leaves them there too, so stop at the completion instant.
+    return sim.now, astuple(value), samples
+
+
+SCENARIOS = [
+    # (prop_ns, byte_ns, n_bytes, blocks, channel_kw)
+    pytest.param(13.0, 6.25, 300, (), None, id="free-flow"),
+    pytest.param(13.0, 6.25, 0, (), None, id="zero-bytes"),
+    pytest.param(13.0, 6.25, 1, (), None, id="one-byte"),
+    pytest.param(13.0, 6.25, 300, ((200.0, "block"), (5_000.0, "unblock")),
+                 None, id="block-unblock"),
+    pytest.param(13.0, 6.25, 250, ((150.0, "block"), (3_000.0, "unblock"),
+                                   (4_000.0, "block"), (6_500.0, "unblock")),
+                 None, id="double-stall"),
+    pytest.param(12.5, 6.25, 200, ((100.0, "block"), (2_000.0, "unblock")),
+                 None, id="prop-on-grid"),
+    pytest.param(6.25, 6.25, 120, ((100.0, "block"), (1_500.0, "unblock")),
+                 None, id="prop-equals-byte"),
+    pytest.param(1.0, 8.0, 150, ((96.0, "block"), (1_000.0, "unblock")),
+                 None, id="short-cable"),
+    # Long cable: the default sizing rule cannot absorb a mid-stream
+    # block (stop threshold + round-trip flight exceeds the slack), so
+    # size the buffer explicitly.
+    pytest.param(40.0, 2.0, 400, ((100.0, "block"), (2_000.0, "unblock")),
+                 {"slack_bytes": 100, "stop_threshold": 30,
+                  "go_threshold": 10}, id="long-cable"),
+    pytest.param(13.0, 6.25, 200, ((120.0, "block"), (2_400.0, "unblock")),
+                 {"slack_bytes": 20, "stop_threshold": 1, "go_threshold": 0},
+                 id="stop-go-oscillation"),
+    pytest.param(0.3, 0.1, 150, ((7.0, "block"), (60.0, "unblock")),
+                 None, id="non-dyadic-times"),
+]
+
+
+class TestOracleEquivalence:
+    @pytest.mark.parametrize("prop_ns,byte_ns,n_bytes,blocks,channel_kw",
+                             SCENARIOS)
+    def test_stats_bit_identical(self, prop_ns, byte_ns, n_bytes, blocks,
+                                 channel_kw):
+        probes = tuple(37.1 + 211.7 * k for k in range(12))
+        new = _run_scenario(StopGoChannel, prop_ns=prop_ns, byte_ns=byte_ns,
+                            n_bytes=n_bytes, blocks=blocks, probes=probes,
+                            channel_kw=channel_kw)
+        ref = _run_scenario(_ReferenceStopGoChannel, prop_ns=prop_ns,
+                            byte_ns=byte_ns, n_bytes=n_bytes, blocks=blocks,
+                            probes=probes, channel_kw=channel_kw)
+        assert new[1] == ref[1], "final stats diverged"
+        assert new[2] == ref[2], "mid-run samples diverged"
+        assert new[0] == ref[0], "completion time diverged"
+
+    def test_blocked_forever_matches_oracle(self):
+        """Stats sampled while the channel is permanently stalled match,
+        even though the new model has nothing left on the calendar."""
+        results = []
+        for cls in (StopGoChannel, _ReferenceStopGoChannel):
+            sim = Simulator()
+            ch = cls(sim, prop_ns=13.0, byte_ns=6.25)
+            ch.block_receiver()
+            ch.transfer(500)
+            # Off-lattice horizon: both models have processed exactly
+            # the events before it.
+            sim.run(until=20_001.3)
+            results.append((astuple(ch.stats), ch.slack_occupancy))
+        assert results[0] == results[1]
+
+    def test_overrun_raises_like_oracle(self):
+        """A mis-sized slack still fails loudly, at the same instant."""
+        kw = dict(prop_ns=40.0, byte_ns=2.0, slack_bytes=10,
+                  stop_threshold=8, go_threshold=2)
+        times = []
+        for cls in (StopGoChannel, _ReferenceStopGoChannel):
+            sim = Simulator()
+            ch = cls(sim, **kw)
+            ch.block_receiver()  # occupancy climbs unchecked past the STOP
+            done = ch.transfer(100)
+            with pytest.raises((RuntimeError, Exception)) as exc:
+                sim.run_until_event(done)
+            assert "slack overrun" in str(exc.value)
+            times.append(sim.now)
+        assert times[0] == times[1]
+
+
+class TestIdleSchedulesNothing:
+    def test_no_transfer_no_calendar_entries(self):
+        sim = Simulator()
+        ch = StopGoChannel(sim, prop_ns=13.0, byte_ns=6.25)
+        ch.block_receiver()
+        ch.unblock_receiver()
+        assert sim.pending == 0
+        assert ch.stats.bytes_sent == 0
+
+    def test_stalled_transfer_goes_quiet(self):
+        """Once permanently blocked, the channel keeps zero calendar
+        entries — the old model polled twice per byte time forever."""
+        sim = Simulator()
+        ch = StopGoChannel(sim, prop_ns=13.0, byte_ns=6.25)
+        ch.block_receiver()
+        ch.transfer(500)
+        sim.run(until=20_001.3)
+        assert ch.stats.bytes_sent <= ch.slack_bytes + 4
+        assert sim.pending == 0
+
+    def test_active_transfer_is_one_callback(self):
+        sim = Simulator()
+        ch = StopGoChannel(sim, prop_ns=13.0, byte_ns=6.25)
+        done = ch.transfer(400)
+        assert sim.pending == 1  # just the projected completion
+        stats = sim.run_until_event(done)
+        assert stats.bytes_delivered == 400

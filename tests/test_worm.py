@@ -158,3 +158,41 @@ class TestSelfDeadlock:
         launch(sim, fabric, seg, b"x", rec)
         with pytest.raises(SimulationError, match="re-enters"):
             sim.run()
+
+
+class TestForwardDelayClamp:
+    """Regression tests for the float-rounding guard on head-arrival
+    schedules (``head_at_input - sim.now`` can go epsilon-negative on
+    long accumulated schedules)."""
+
+    def test_positive_delta_passes_through(self):
+        from repro.network.worm import _forward_delay
+        assert _forward_delay(100.25, 100.0) == 0.25
+
+    def test_zero_delta_is_zero(self):
+        from repro.network.worm import _forward_delay
+        assert _forward_delay(100.0, 100.0) == 0.0
+
+    def test_epsilon_negative_clamps_to_zero(self):
+        from repro.network.worm import TIME_EPS_NS, _forward_delay
+        # A delta one float step below zero, as produced by summing the
+        # same hop latencies in a different association order.
+        target = 0.1 + 0.2  # 0.30000000000000004
+        now = 0.3 + 5e-17 * 0  # plain 0.3
+        assert _forward_delay(now, target) == 0.0  # target > now side
+        assert _forward_delay(target, now) > 0.0
+        tiny = -TIME_EPS_NS / 2
+        assert _forward_delay(100.0 + tiny, 100.0) == 0.0
+
+    def test_large_negative_raises(self):
+        from repro.network.worm import _forward_delay
+        with pytest.raises(AssertionError, match="into the past"):
+            _forward_delay(99.0, 100.0)
+
+    def test_timeout_never_sees_negative_delay(self):
+        """End to end: a worm whose accumulated schedule rounds
+        epsilon-negative must not trip ``Timeout``'s validation."""
+        from repro.network.worm import _forward_delay
+        from repro.sim.engine import Timeout
+        delay = _forward_delay(1000.0 - 1e-9, 1000.0)
+        Timeout(delay)  # must not raise ValueError

@@ -13,8 +13,13 @@ import time
 from repro.core.builder import build_network
 from repro.core.config import NetworkConfig
 from repro.core.timings import Timings
+from repro.mcp.packet_format import encode_packet
+from repro.network.fabric import Fabric
+from repro.network.worm import Worm
+from repro.routing.routes import SourceRoute
 from repro.sim.engine import Event, Simulator, Timeout
 from repro.sim.resources import Resource
+from repro.topology.graph import Topology
 
 
 def test_bench_event_dispatch(benchmark):
@@ -151,6 +156,75 @@ def test_bench_calendar_churn_speedup(benchmark, bench_headline):
     assert ratio >= 2.0, (
         f"fast path only {ratio:.2f}x over legacy resume shape"
         f" (fast {fast * 1e3:.1f} ms, legacy {legacy * 1e3:.1f} ms)"
+    )
+
+
+def _flight_net(n_switches: int = 4):
+    """A SAN line of switches with one host at each end — the
+    uncontended multi-hop shape of the fig7 half-round-trip paths."""
+    topo = Topology()
+    switches = [topo.add_switch(n_ports=4) for _ in range(n_switches)]
+    for i in range(n_switches - 1):
+        topo.connect(switches[i], 2, switches[i + 1], 3)
+    src = topo.attach_host(switches[0], 0, name="src")
+    dst = topo.attach_host(switches[-1], 1, name="dst")
+    seg = SourceRoute(
+        src=src, dst=dst,
+        ports=(2,) * (n_switches - 1) + (1,),
+        switch_path=tuple(switches),
+    )
+    sim = Simulator()
+    fabric = Fabric(sim, topo, Timings())
+    return sim, fabric, seg
+
+
+def _run_flight(n_worms: int, express: bool) -> list:
+    """Sequential uncontended 512 B worms down the line; returns the
+    per-worm completion timestamps (for cross-mode exactness checks)."""
+    sim, fabric, seg = _flight_net()
+    fabric.express_enabled = express
+    image = encode_packet(seg, bytes(512))
+    completes: list[float] = []
+
+    class _Obs:
+        def on_header(self, worm, t):
+            return None
+
+        def on_complete(self, worm, t):
+            completes.append(t)
+
+    obs = _Obs()
+
+    def driver():
+        for _ in range(n_worms):
+            Worm(sim, fabric, seg, image, observer=obs).launch()
+            yield Timeout(6000.0)  # > one full flight: truly uncontended
+
+    sim.process(driver())
+    sim.run()
+    return completes
+
+
+def test_bench_worm_flight(benchmark, bench_headline):
+    """The express-lane guard: closed-form worm flight must be at
+    least 1.5x faster than the stepped generator on an uncontended
+    fig7-shaped workload — with bit-identical completion times."""
+    n_worms = 400
+
+    completes = benchmark(lambda: _run_flight(n_worms, True))
+    assert len(completes) == n_worms
+
+    assert _run_flight(n_worms, True) == _run_flight(n_worms, False)
+
+    express = _best_of(lambda: _run_flight(n_worms, True))
+    stepped = _best_of(lambda: _run_flight(n_worms, False))
+    ratio = stepped / express
+    bench_headline["speedup_ratio"] = round(ratio, 3)
+    bench_headline["express_s"] = round(express, 6)
+    bench_headline["stepped_s"] = round(stepped, 6)
+    assert ratio >= 1.5, (
+        f"express lane only {ratio:.2f}x over stepped flight"
+        f" (express {express * 1e3:.1f} ms, stepped {stepped * 1e3:.1f} ms)"
     )
 
 

@@ -72,6 +72,13 @@ def _make_experiment_command(exp: Experiment):
         report = Runner().run(spec, jobs=args.jobs,
                               save=args.save or None)
         print(exp.render(spec, report.result, args))
+        express = report.express
+        total = express.get("hits", 0) + express.get("fallbacks", 0)
+        if total:
+            pct = 100.0 * express["hits"] / total
+            print(f"express worms: {express['hits']}/{total}"
+                  f" ({pct:.1f}% hit rate,"
+                  f" {express['stepped_hops']} stepped hops)")
         if report.saved_to:
             print(f"saved to {report.saved_to}")
         return 0

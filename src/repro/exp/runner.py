@@ -53,6 +53,7 @@ class PointContext:
         self.cache = cache
         self.observations: list[dict] = []
         self._instrumented: list = []
+        self._fabrics: list = []
 
     def build(self, topo: Any = None, **kwargs: Any) -> BuiltNetwork:
         """Build a network for this point through the single shared path."""
@@ -60,12 +61,21 @@ class PointContext:
             topo = self.spec.topology
         kwargs.setdefault("route_cache", self.cache)
         net = build_network(topo, **kwargs)
+        self._fabrics.append(net.fabric)
         if self.spec.observe:
             from repro.obs.attach import instrument_network
 
             telemetry = instrument_network(net, fabric_usage=False)
             self._instrumented.append(telemetry)
         return net
+
+    def express_summary(self) -> dict:
+        """Worm express-lane counters summed over this point's builds."""
+        totals = {"hits": 0, "fallbacks": 0, "stepped_hops": 0}
+        for fabric in self._fabrics:
+            for key, value in fabric.express_stats.as_dict().items():
+                totals[key] += value
+        return totals
 
     def finalize_observations(self) -> None:
         """Snapshot nonzero metric totals of every instrumented build."""
@@ -90,6 +100,9 @@ class RunReport:
     elapsed_s: float
     cache_stats: dict = field(default_factory=dict)
     observations: list = field(default_factory=list)
+    #: Worm express-lane counters summed across every point (execution
+    #: metadata — never part of the persisted result document).
+    express: dict = field(default_factory=dict)
     saved_to: Optional[str] = None
 
 
@@ -99,7 +112,7 @@ _worker_cache: Optional[RouteCache] = None
 
 
 def _measure_point(payload: tuple[ExperimentSpec, int, dict]
-                   ) -> tuple[int, Any, list]:
+                   ) -> tuple[int, Any, list, dict]:
     """Evaluate one point (entry point for pool workers and the serial
     path alike, so both execute the exact same code)."""
     spec, index, point = payload
@@ -107,7 +120,7 @@ def _measure_point(payload: tuple[ExperimentSpec, int, dict]
     ctx = PointContext(spec, cache=_worker_cache)
     value = exp.measure(spec, point, ctx)
     ctx.finalize_observations()
-    return index, value, ctx.observations
+    return index, value, ctx.observations, ctx.express_summary()
 
 
 class Runner:
@@ -163,8 +176,12 @@ class Runner:
 
         # Deterministic merge: results ordered by point index.
         outcomes.sort(key=lambda item: item[0])
-        values = [value for _i, value, _obs in outcomes]
-        observations = [obs for _i, _value, obs in outcomes]
+        values = [value for _i, value, _obs, _ex in outcomes]
+        observations = [obs for _i, _value, obs, _ex in outcomes]
+        express = {"hits": 0, "fallbacks": 0, "stepped_hops": 0}
+        for _i, _value, _obs, ex in outcomes:
+            for key, v in ex.items():
+                express[key] = express.get(key, 0) + v
         if on_point is not None:
             for i, value in enumerate(values):
                 on_point(i, value)
@@ -178,6 +195,7 @@ class Runner:
             elapsed_s=time.perf_counter() - t0,
             cache_stats=self.cache.stats(),
             observations=observations,
+            express=express,
         )
         if save:
             from repro.harness.persist import save_results

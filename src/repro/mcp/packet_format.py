@@ -27,6 +27,7 @@ the exact header arithmetic the MCP performs.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Sequence
 
 from repro.routing.routes import ItbRoute, SourceRoute
 
@@ -136,6 +137,28 @@ class PacketImage:
             raise PacketFormatError("leading byte is not a route byte")
         port = _decode_route_byte(self.data[self.offset])
         return port, replace(self, offset=self.offset + 1)
+
+    def consume_route_bytes(self, ports: Sequence[int]) -> "PacketImage":
+        """Whole-segment switch behaviour in one step.
+
+        Validates that the leading wire bytes are route bytes decoding
+        to ``ports`` (in order) and strips them all — one cursor
+        advance instead of one :func:`dataclasses.replace` per hop.
+        The worm layer shares this single decode between its stepped
+        and express paths.
+        """
+        data, pos = self.data, self.offset
+        end = len(data)
+        for port in ports:
+            if pos >= end or not data[pos] & 0x80:
+                raise PacketFormatError("leading byte is not a route byte")
+            decoded = data[pos] & 0x3F
+            if decoded != port:
+                raise PacketFormatError(
+                    f"route byte {decoded} != expected port {port}"
+                )
+            pos += 1
+        return replace(self, offset=pos)
 
     def strip_itb_stage(self) -> tuple[int, "PacketImage"]:
         """In-transit host behaviour: strip ``ITB | len``.

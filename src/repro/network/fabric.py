@@ -14,13 +14,17 @@ loopback cables (both ends on one switch).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.timings import Timings
 from repro.sim.engine import Simulator
 from repro.sim.resources import Resource
 from repro.topology.graph import Link, PortKind, Topology, TopologyError
 
-__all__ = ["Channel", "Fabric"]
+if TYPE_CHECKING:  # pragma: no cover - import-cycle guard
+    from repro.routing.routes import SourceRoute
+
+__all__ = ["Channel", "ExpressStats", "Fabric", "FlightPlan"]
 
 
 @dataclass
@@ -52,6 +56,60 @@ class Channel:
         )
 
 
+class ExpressStats:
+    """Counters for the worm express lane (see ``docs/ENGINE_FASTPATH.md``).
+
+    ``hits`` counts worms that flew the closed-form express path,
+    ``fallbacks`` counts launches that took the stepped generator, and
+    ``stepped_hops`` counts switch hops actually traversed hop by hop
+    (fallback launches plus the remainder of demoted express flights).
+    """
+
+    __slots__ = ("hits", "fallbacks", "stepped_hops")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.fallbacks = 0
+        self.stepped_hops = 0
+
+    def as_dict(self) -> dict:
+        """The three counters as a plain dict (for runner summaries)."""
+        return {"hits": self.hits, "fallbacks": self.fallbacks,
+                "stepped_hops": self.stepped_hops}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<ExpressStats hits={self.hits}"
+                f" fallbacks={self.fallbacks}"
+                f" stepped_hops={self.stepped_hops}>")
+
+
+class FlightPlan:
+    """Pre-resolved traversal data for one source-route segment.
+
+    Memoized per :class:`~repro.routing.routes.SourceRoute` on the
+    fabric: the directed channel for every hop (``channels[0]`` is the
+    host injection cable), the per-hop fall-through latencies, and the
+    channel keys.  Shared by the stepped and express worm paths, so
+    channel lookup and fall-through resolution happen once per
+    distinct segment instead of once per hop per packet.
+    """
+
+    __slots__ = ("segment", "channels", "keys", "falls", "n_hops",
+                 "has_duplicate")
+
+    def __init__(self, segment: "SourceRoute",
+                 channels: tuple[Channel, ...]) -> None:
+        self.segment = segment
+        self.channels = channels
+        self.keys = tuple(ch.key for ch in channels)
+        self.n_hops = len(channels) - 1
+        self.has_duplicate = len(set(self.keys)) != len(self.keys)
+        self.falls: tuple[float, ...] = ()  # filled by Fabric.flight_plan
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FlightPlan {self.segment!r} hops={self.n_hops}>"
+
+
 class Fabric:
     """All channels of a topology plus traversal-timing helpers."""
 
@@ -59,6 +117,20 @@ class Fabric:
         self.sim = sim
         self.topo = topo
         self.timings = timings
+        #: Gate for the worm express lane (equivalence tests and the
+        #: flight microbenchmark force the stepped path through this).
+        self.express_enabled = True
+        self.express_stats = ExpressStats()
+        #: Memoized fall-through per (in kind, out kind) — avoids the
+        #: Timings method call + dict rebuild on every hop.
+        self._fall_ns: dict[tuple[PortKind, PortKind], float] = dict(
+            timings.fall_through_ns)
+        self._plans: dict["SourceRoute", FlightPlan] = {}
+        #: Claim index: channel key -> worms whose in-flight segment
+        #: includes that channel (registered at launch, released at
+        #: completion, for stepped and express worms alike).  Express
+        #: eligibility and demotion both consult it.
+        self._claimed_by: dict[tuple[int, int], list] = {}
         #: Shared registry for higher layers (e.g. "firmware_by_host",
         #: filled by the network builder so worms can find destination
         #: firmware objects).
@@ -132,10 +204,68 @@ class Fabric:
 
     def fall_through(self, in_channel: Channel, out_channel: Channel) -> float:
         """Switch fall-through latency between two port kinds."""
-        return self.timings.fall_through(in_channel.kind, out_channel.kind)
+        return self._fall_ns[in_channel.kind, out_channel.kind]
 
     def utilization_snapshot(self) -> dict[tuple[int, int], int]:
         """Channels currently held (for contention diagnostics)."""
         return {
             key: ch.resource.in_use for key, ch in self._channels.items()
         }
+
+    # -- worm flight plans and the channel-claim index -------------------
+
+    def flight_plan(self, segment: "SourceRoute") -> FlightPlan:
+        """The memoized :class:`FlightPlan` for ``segment``."""
+        plan = self._plans.get(segment)
+        if plan is None:
+            channels = [self.host_out(segment.src)]
+            for switch, port in zip(segment.switch_path, segment.ports):
+                channels.append(self.out_channel(switch, port))
+            plan = FlightPlan(segment, tuple(channels))
+            fall = self._fall_ns
+            plan.falls = tuple(
+                fall[channels[i].kind, channels[i + 1].kind]
+                for i in range(len(channels) - 1)
+            )
+            self._plans[segment] = plan
+        return plan
+
+    def claim_conflicts(self, plan: FlightPlan, now: float) -> bool:
+        """Process claim conflicts for a worm about to launch on ``plan``.
+
+        Returns True when any in-flight worm has claimed a channel of
+        ``plan`` (the launcher must then take the stepped path).  Any
+        *express* worm among the claimants is interrupted first —
+        materialized or demoted (see ``Worm._express_interrupted``) —
+        because from this instant a contender can observe, and queue
+        on, its channels.
+        """
+        claimed = self._claimed_by
+        conflict = False
+        for key in plan.keys:
+            worms = claimed.get(key)
+            if worms:
+                conflict = True
+                for worm in tuple(worms):
+                    if worm._express_live:
+                        worm._express_interrupted(now)
+        return conflict
+
+    def register_claims(self, worm, plan: FlightPlan) -> None:
+        """Record ``worm``'s claim on every channel of its segment."""
+        claimed = self._claimed_by
+        for key in plan.keys:
+            claimed.setdefault(key, []).append(worm)
+
+    def release_claims(self, worm, plan: FlightPlan) -> None:
+        """Drop ``worm``'s claims (at completion of its segment)."""
+        claimed = self._claimed_by
+        for key in plan.keys:
+            worms = claimed.get(key)
+            if worms is not None:
+                try:
+                    worms.remove(worm)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+                if not worms:
+                    del claimed[key]

@@ -157,6 +157,21 @@ class _MeteredResource:
             self._cu.busy_ns += self._sim.now - start
         self._inner.release(owner)
 
+    # -- express-lane hooks (see repro.network.worm) ----------------------
+
+    def note_acquired_at(self, owner, t: float) -> None:
+        """Backdate ``owner``'s acquire time (a materialised express
+        hold really started at its closed-form acquire instant, not at
+        the interrupt that made it visible)."""
+        self._cu._acquired_at[id(owner)] = t
+
+    def record_hold(self, t_acquire: float, t_release: float) -> None:
+        """Settle a fully-virtual express hold: the channel was never
+        touched through request/release, so account the whole window
+        in one step."""
+        self._cu.packets += 1
+        self._cu.busy_ns += t_release - t_acquire
+
     # -- passthrough -------------------------------------------------------
 
     def __getattr__(self, name):

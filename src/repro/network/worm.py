@@ -21,6 +21,21 @@ starting the next segment's worm before ``on_complete`` fires; the
 pipeline constraint (a byte cannot be re-sent before it arrived) is
 honoured because both links run at the same byte rate and the
 re-injection starts strictly after reception started.
+
+Express lane
+------------
+When the whole route is provably uncontended at injection — every
+channel free with an empty queue, and no other in-flight worm's
+segment intersecting it (the fabric's channel-claim index) — the worm
+skips the hop-by-hop generator entirely: the traversal clock is
+replayed in closed form (the exact float-addition sequence the stepped
+path performs) and just two calendar entries are scheduled, header
+arrival and completion.  The channels are then held only *virtually*;
+every later launch first interrupts intersecting express flights
+(materialising their holds, and demoting any not-yet-acquired suffix
+back to the stepped generator) before it can observe the channels, so
+no contender can tell the difference.  See the "Express worm flight"
+section of ``docs/ENGINE_FASTPATH.md`` for the invariants.
 """
 
 from __future__ import annotations
@@ -29,7 +44,7 @@ from typing import Optional, Protocol
 
 from repro.core.timings import Timings
 from repro.mcp.packet_format import PacketImage
-from repro.network.fabric import Channel, Fabric
+from repro.network.fabric import Channel, Fabric, FlightPlan
 from repro.routing.routes import SourceRoute
 from repro.sim.engine import Simulator, Timeout
 
@@ -95,6 +110,14 @@ class Worm:
         Free-form dict propagated across segments (packet id, timestamps).
     """
 
+    __slots__ = (
+        "sim", "fabric", "timings", "segment", "image", "observer", "meta",
+        "worm_id", "inject_time", "header_time", "complete_time",
+        "blocked_ns", "_held", "_held_keys", "_plan", "_claimed",
+        "_express_token", "_express_live", "_express_materialized",
+        "_acq", "_image_out", "_early", "_remaining",
+    )
+
     _next_worm_id = 0
 
     def __init__(
@@ -121,6 +144,20 @@ class Worm:
         self.complete_time: Optional[float] = None
         self.blocked_ns: float = 0.0
         self._held: list[Channel] = []
+        self._held_keys: set[tuple[int, int]] = set()
+        self._plan: Optional[FlightPlan] = None
+        self._claimed = False
+        # Express-lane state.  ``_express_live`` marks a flight whose
+        # channels are held only virtually; bumping ``_express_token``
+        # cancels any scheduled express callbacks (they capture the
+        # token at schedule time and no-op on mismatch).
+        self._express_token = 0
+        self._express_live = False
+        self._express_materialized = False
+        self._acq: list[float] = []
+        self._image_out: Optional[PacketImage] = None
+        self._early = 0.0
+        self._remaining = 0.0
 
     # ------------------------------------------------------------------
 
@@ -129,30 +166,256 @@ class Worm:
         self.sim.process(self._run(), name=f"worm{self.worm_id}")
 
     def _run(self):
-        sim, fabric, t = self.sim, self.fabric, self.timings
+        sim, fabric = self.sim, self.fabric
+        t = self.timings
         seg = self.segment
         self.inject_time = sim.now
-        wire_len = self.image.wire_length
+
+        plan = fabric.flight_plan(seg)
+        self._plan = plan
+        # One route decode per segment, shared by both lanes: the
+        # switches' route-byte stripping validated and applied in a
+        # single cursor advance.
+        self._image_out = self.image.consume_route_bytes(seg.ports)
+        wire_len = self._image_out.wire_length
+        self._early = t.wire_time(min(t.early_recv_bytes, wire_len))
+        self._remaining = t.wire_time(wire_len) - self._early
+
+        # Interrupt intersecting express flights *before* looking at
+        # channel state (their holds must be observable from here on),
+        # then claim our own segment.
+        conflict = fabric.claim_conflicts(plan, sim.now)
+        fabric.register_claims(self, plan)
+        self._claimed = True
+
+        if (
+            fabric.express_enabled
+            and not conflict
+            and not plan.has_duplicate
+            and self._express_eligible(plan)
+        ):
+            self._launch_express(plan)
+            return self
+        fabric.express_stats.fallbacks += 1
+        fabric.express_stats.stepped_hops += plan.n_hops
+        yield from self._run_stepped(plan)
+        return self
+
+    # -- express lane ---------------------------------------------------
+
+    def _express_eligible(self, plan: FlightPlan) -> bool:
+        """Whole-route-free check (claim conflicts already handled)."""
+        # A destination NIC with an *enabled* memory arbiter derives
+        # engine speeds from live counters; the express lane would
+        # start its recv DMA accounting at header time instead of
+        # head-arrival time, which that arbiter could observe.
+        arbiter = getattr(getattr(self.observer, "nic", None),
+                          "arbiter", None)
+        if arbiter is not None and arbiter.enabled:
+            return False
+        for ch in plan.channels:
+            res = ch.resource
+            if not res.free or res.queue_length:
+                return False
+        return True
+
+    def _launch_express(self, plan: FlightPlan) -> None:
+        """Fly the whole segment in closed form: two calendar entries.
+
+        The clock replay below performs the *exact* float-addition
+        sequence of the stepped generator (``now = now + delay`` per
+        hop, never ``now = head``), so every derived timestamp is
+        bit-identical to the stepped path's.
+        """
+        sim, t = self.sim, self.timings
+        chans = plan.channels
+        now = sim.now
+        acq = [now]
+        head = now + chans[0].prop_ns + t.link_byte_ns
+        for h in range(plan.n_hops):
+            out = chans[h + 1]
+            delay = _forward_delay(head, now)
+            if delay > 0.0:
+                now = now + delay
+            acq.append(now)
+            head = now + plan.falls[h] + out.prop_ns
+        delay = _forward_delay(head, now)
+        if delay > 0.0:
+            now = now + delay
+        arrival = now
+
+        self._acq = acq
+        self._express_live = True
+        self.fabric.express_stats.hits += 1
+        token = self._express_token
+        h_time = arrival + self._early
+        sim.schedule_at(h_time,
+                        lambda: self._express_header(token, arrival))
+        if self._remaining > 0:
+            c_time = h_time + self._remaining
+        else:
+            c_time = h_time
+        sim.schedule_at(c_time, lambda: self._express_complete(token))
+
+    def _express_header(self, token: int, arrival: float) -> None:
+        """Early-recv notification (stepped path: after the first
+        ``early_recv_bytes`` landed)."""
+        if token != self._express_token:
+            return
+        sim = self.sim
+        self.header_time = arrival
+        self.image = self._image_out
+        arbiter = getattr(getattr(self.observer, "nic", None),
+                          "arbiter", None)
+        if arbiter is not None:
+            arbiter.engine_start("recv_dma")
+        gate = self.observer.on_header(self, sim.now)
+        if gate is None:
+            return  # completion entry stays armed
+        # Receive-buffer backpressure: the tail demotes to a process
+        # that waits out the gate (and the remaining bytes) exactly as
+        # the stepped path would.
+        self._express_token += 1  # cancel the scheduled completion
+        sim.process(self._gated_tail(gate, arbiter),
+                    name=f"worm{self.worm_id}-gated")
+
+    def _gated_tail(self, gate, arbiter):
+        sim = self.sim
+        try:
+            yield gate
+            if self._remaining > 0:
+                yield Timeout(self._remaining)
+        finally:
+            if arbiter is not None:
+                arbiter.engine_stop("recv_dma")
+        self.complete_time = sim.now
+        self._express_release()
+        self.observer.on_complete(self, sim.now)
+
+    def _express_complete(self, token: int) -> None:
+        if token != self._express_token:
+            return
+        sim = self.sim
+        arbiter = getattr(getattr(self.observer, "nic", None),
+                          "arbiter", None)
+        if arbiter is not None:
+            arbiter.engine_stop("recv_dma")
+        self.complete_time = sim.now
+        self._express_release()
+        self.observer.on_complete(self, sim.now)
+
+    def _express_release(self) -> None:
+        """Tail drained: settle channel holds and drop claims."""
+        self._express_live = False
+        if self._express_materialized or self._held:
+            self._release_all()
+            return
+        # Fully virtual flight: nothing ever queued on these channels
+        # (any contender would have materialised them), so only the
+        # channel-utilisation meters need the hold recorded.
+        acq = self._acq
+        for i, ch in enumerate(self._plan.channels):
+            record = getattr(ch.resource, "record_hold", None)
+            if record is not None:
+                record(acq[i], self.complete_time)
+        self._release_claims()
+
+    def _express_interrupted(self, t1: float) -> None:
+        """A contender is about to look at our channels (time ``t1``).
+
+        Materialise every hold whose closed-form acquire time has
+        matured (backdating the meters), and demote any immature
+        suffix back to the stepped generator at its natural request
+        time.  Full demotion can only happen before header arrival —
+        by then every acquire time has matured — so the scheduled
+        header/complete entries are kept whenever the whole path
+        materialises.
+        """
+        plan, acq = self._plan, self._acq
+        chans = plan.channels
+        j = len(acq)
+        for i, at in enumerate(acq):
+            if at > t1:
+                j = i
+                break
+        for i in range(j):
+            res = chans[i].resource
+            ok = res.try_acquire(owner=self)
+            assert ok, "express-held channel was not free at interrupt"
+            note = getattr(res, "note_acquired_at", None)
+            if note is not None:
+                note(self, acq[i])
+            self._held.append(chans[i])
+            self._held_keys.add(chans[i].key)
+        self._express_live = False
+        if j == len(acq):
+            # Whole path acquired; the express header/completion
+            # entries remain valid.
+            self._express_materialized = True
+            return
+        # Immature suffix: cancel the express entries and resume the
+        # stepped generator at the instant it would have requested the
+        # next channel.
+        self._express_token += 1
+        self.fabric.express_stats.stepped_hops += plan.n_hops - (j - 1)
+        hop = j - 1
+        sim = self.sim
+        # process_now, not process: the continuation's first action is
+        # the channel request the stepped worm would have made at this
+        # exact calendar position, and it must not lose same-time FIFO
+        # races through an extra immediate-lane hop.
+        sim.schedule_at(
+            acq[j],
+            lambda: sim.process_now(self._demoted_tail(hop),
+                                    name=f"worm{self.worm_id}-demoted"),
+        )
+
+    def _demoted_tail(self, hop: int):
+        """Stepped continuation from switch hop ``hop`` onwards.
+
+        Entered at the natural request time of ``channels[hop + 1]``;
+        the prefix up to ``channels[hop]`` is already held with exact
+        stepped timestamps.
+        """
+        sim, fabric = self.sim, self.fabric
+        plan = self._plan
+        out = plan.channels[hop + 1]
+        block_start = sim.now
+        yield from self._acquire(out)
+        self.blocked_ns += sim.now - block_start
+        head_at_input = sim.now + plan.falls[hop] + out.prop_ns
+
+        for h in range(hop + 1, plan.n_hops):
+            out = plan.channels[h + 1]
+            delay = _forward_delay(head_at_input, sim.now)
+            if delay > 0.0:
+                yield Timeout(delay)
+            block_start = sim.now
+            yield from self._acquire(out)
+            self.blocked_ns += sim.now - block_start
+            head_at_input = sim.now + plan.falls[h] + out.prop_ns
+
+        delay = _forward_delay(head_at_input, sim.now)
+        if delay > 0.0:
+            yield Timeout(delay)
+        yield from self._finish_stepped()
+
+    # -- stepped lane ---------------------------------------------------
+
+    def _run_stepped(self, plan: FlightPlan):
+        sim = self.sim
+        t = self.timings
 
         # Injection channel: host NIC -> first switch.  The NIC's send
         # DMA only starts when the wire is free (Stop&Go at the source).
-        out = fabric.host_out(seg.src)
+        out = plan.channels[0]
         yield from self._acquire(out)
         # Leading byte reaches the first switch after propagation + one
         # byte time on the wire.
         head_at_input = sim.now + out.prop_ns + t.link_byte_ns
-        in_channel = out
-        image = self.image
 
-        for hop_index, port in enumerate(seg.ports):
-            switch = seg.switch_path[hop_index]
-            # The switch decodes the leading route byte and strips it.
-            _decoded_port, image = image.strip_route_byte()
-            if _decoded_port != port:
-                raise AssertionError(
-                    f"route byte {_decoded_port} != expected port {port}"
-                )
-            out = fabric.out_channel(switch, port)
+        for h in range(plan.n_hops):
+            out = plan.channels[h + 1]
             # Routing decision + crossbar setup happen as the header
             # arrives; the output may be busy (wormhole blocking).
             delay = _forward_delay(head_at_input, sim.now)
@@ -161,20 +424,24 @@ class Worm:
             block_start = sim.now
             yield from self._acquire(out)
             self.blocked_ns += sim.now - block_start
-            fall = fabric.fall_through(in_channel, out)
-            head_at_input = sim.now + fall + out.prop_ns
-            in_channel = out
+            head_at_input = sim.now + plan.falls[h] + out.prop_ns
 
         # Head (first byte past all switches) reaches the destination NIC.
         delay = _forward_delay(head_at_input, sim.now)
         if delay > 0.0:
             yield Timeout(delay)
+        yield from self._finish_stepped()
+
+    def _finish_stepped(self):
+        """Destination-side epilogue shared by every stepped variant."""
+        sim = self.sim
         self.header_time = sim.now
-        self.image = image  # route bytes consumed; NIC sees type first
+        self.image = self._image_out  # route bytes consumed; NIC sees type
 
         # The destination NIC's receive packet DMA streams the packet
         # into SRAM from here on (feeds the LANai memory arbiter).
-        arbiter = getattr(getattr(self.observer, "nic", None), "arbiter", None)
+        arbiter = getattr(getattr(self.observer, "nic", None),
+                          "arbiter", None)
         if arbiter is not None:
             arbiter.engine_start("recv_dma")
         try:
@@ -182,8 +449,7 @@ class Worm:
             # The observer may return a gate event (no receive buffer
             # free): the packet then stalls on the wire, channels held
             # — Stop&Go backpressure.
-            early = t.wire_time(min(t.early_recv_bytes, image.wire_length))
-            yield Timeout(early)
+            yield Timeout(self._early)
             gate = self.observer.on_header(self, sim.now)
             if gate is not None:
                 yield gate
@@ -191,21 +457,19 @@ class Worm:
             # Remaining bytes stream in at link rate (cut-through
             # pipeline: the body follows the header with no further
             # per-switch cost).
-            remaining = t.wire_time(image.wire_length) - early
-            if remaining > 0:
-                yield Timeout(remaining)
+            if self._remaining > 0:
+                yield Timeout(self._remaining)
         finally:
             if arbiter is not None:
                 arbiter.engine_stop("recv_dma")
         self.complete_time = sim.now
         self._release_all()
         self.observer.on_complete(self, sim.now)
-        return self
 
     # ------------------------------------------------------------------
 
     def _acquire(self, channel: Channel):
-        if channel in self._held:
+        if channel.key in self._held_keys:
             # A wormhole packet that routes back onto a directed
             # channel it still occupies waits for itself forever —
             # this deadlocks on real hardware too.  Fail loudly so
@@ -217,11 +481,19 @@ class Worm:
         req = channel.resource.request(owner=self)
         yield req
         self._held.append(channel)
+        self._held_keys.add(channel.key)
 
     def _release_all(self) -> None:
         for ch in self._held:
             ch.resource.release(owner=self)
         self._held.clear()
+        self._held_keys.clear()
+        self._release_claims()
+
+    def _release_claims(self) -> None:
+        if self._claimed:
+            self.fabric.release_claims(self, self._plan)
+            self._claimed = False
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

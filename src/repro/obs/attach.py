@@ -20,7 +20,10 @@ Metric catalog (see ``docs/OBSERVABILITY.md`` for details):
 * ``fabric_channel_{packets_total,busy_ns,utilization}`` — per
   switch-to-switch channel,
 * ``fabric_{jain_fairness,max_utilization,root_concentration}`` —
-  the balance summary statistics of the instrumentation module.
+  the balance summary statistics of the instrumentation module,
+* ``worm_express_hits`` / ``worm_express_fallbacks`` /
+  ``worm_stepped_hops`` — worm express-lane counters (see
+  ``docs/ENGINE_FASTPATH.md``).
 """
 
 from __future__ import annotations
@@ -102,6 +105,25 @@ def _attach_nic(registry: MetricsRegistry, nic) -> None:
     nic.metrics = registry
 
 
+def _attach_express(registry: MetricsRegistry, fabric) -> None:
+    stats = fabric.express_stats
+    registry.counter(
+        "worm_express_hits", component="fabric",
+        help="worms that flew the closed-form express lane",
+        fn=lambda s=stats: s.hits,
+    )
+    registry.counter(
+        "worm_express_fallbacks", component="fabric",
+        help="worm launches that took the stepped generator",
+        fn=lambda s=stats: s.fallbacks,
+    )
+    registry.counter(
+        "worm_stepped_hops", component="fabric",
+        help="switch hops traversed hop-by-hop (fallbacks + demotions)",
+        fn=lambda s=stats: s.stepped_hops,
+    )
+
+
 def _attach_fabric(registry: MetricsRegistry,
                    usage: FabricUsage) -> None:
     for cu in usage.channels.values():
@@ -162,6 +184,7 @@ def instrument_network(
     registry = registry or MetricsRegistry()
     for _host, nic in sorted(net.nics.items()):
         _attach_nic(registry, nic)
+    _attach_express(registry, net.fabric)
     usage: Optional[FabricUsage] = None
     if fabric_usage:
         usage = attach_usage_meter(net)

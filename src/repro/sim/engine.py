@@ -460,6 +460,28 @@ class Simulator:
             heapq.heappush(self._queue,
                            (self._now + delay, priority, self._seq, callback))
 
+    def schedule_at(
+        self, time: float, callback: Callable[[], None], priority: int = 0
+    ) -> None:
+        """Run ``callback`` at the absolute simulation ``time``.
+
+        Unlike :meth:`schedule`, the calendar entry carries ``time``
+        itself rather than ``self._now + delay`` — the one float
+        addition that makes relative scheduling drift by an ulp from a
+        precomputed target.  Closed-form trajectories (the express worm
+        flight) use this to land events at exactly the timestamps the
+        stepped implementation's ``now = now + delay`` chain produces.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past (time={time}, now={self._now})"
+            )
+        self._seq += 1
+        if time == self._now and priority == 0:
+            self._immediate.append((self._seq, callback))
+        else:
+            heapq.heappush(self._queue, (time, priority, self._seq, callback))
+
     def event(self, name: str = "") -> Event:
         """A fresh untriggered event bound to this simulator."""
         return Event(self, name=name)
@@ -468,6 +490,21 @@ class Simulator:
         """Start a generator as a process at the current time."""
         proc = Process(self, gen, name=name)
         self.schedule(0.0, proc._start)
+        return proc
+
+    def process_now(self, gen: ProcessGen, name: str = "") -> Process:
+        """Start a generator as a process, stepping it synchronously.
+
+        Unlike :meth:`process`, the generator's first step runs inside
+        this call rather than through a zero-delay calendar entry.
+        For use from *within* a calendar callback when the process's
+        first action must keep the callback's position in same-time
+        FIFO order (e.g. a resource ``request`` racing other entries
+        at this timestamp — the express worm lane's demoted-tail
+        resume relies on this).
+        """
+        proc = Process(self, gen, name=name)
+        proc._start()
         return proc
 
     # -- running ---------------------------------------------------------

@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import-cycle guard
     from repro.core.builder import BuiltNetwork
+    from repro.topology.graph import Topology
 from repro.mcp.packet_format import TYPE_MAPPING
 from repro.routing.routes import ItbRoute, SourceRoute
 
@@ -97,6 +98,7 @@ def discover_network(
     mapper_host: int,
     max_probes: int = 10_000,
     probe_payload: int = 16,
+    topo: Optional["Topology"] = None,
 ) -> DiscoveredMap:
     """Explore the fabric from ``mapper_host`` with scout packets.
 
@@ -106,11 +108,17 @@ def discover_network(
     switch or a NIC?" — is answered from topology ground truth, which
     stands in for the echo/silence protocol of the real mapper.
 
+    ``topo`` overrides the ground-truth view: after a fault, passing
+    the degraded topology (``net.topo.without_links(...)``) models the
+    re-discovery pass — ports whose cable died read as dead, so no
+    scout is routed into the failed region (on real Myrinet the scout
+    would simply never echo).
+
     Returns the reconstructed map.  Raises :class:`DiscoveryError`
     when the probe budget is exhausted (disconnected or runaway
     exploration).
     """
-    topo = net.topo
+    topo = net.topo if topo is None else topo
     sim = net.sim
     result = DiscoveredMap(mapper_host=mapper_host)
     t_start = sim.now

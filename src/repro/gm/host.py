@@ -7,23 +7,34 @@ Models the host-software half of GM:
   scheduler/cache noise), and pushes packets through the NIC firmware.
 * ``receive()`` — event-based receive from the in-order delivery queue.
 * Reliability — per-destination go-back-N: sequence numbers on data
-  packets, explicit ack packets, retransmission on timeout.  This is
-  what recovers packets flushed by a full in-transit buffer pool
-  (paper Section 4's "GM software has mechanisms to retransmit
-  missing packets").
+  packets, cumulative acks (explicit packets plus a piggybacked ack
+  field on reverse data traffic), NACK-triggered fast retransmit, a
+  bounded send window, and a per-connection retransmission timer with
+  exponential backoff.  A packet that exhausts its retransmission
+  budget fails the whole connection *gracefully*: every in-flight
+  send's completion event fails with :class:`GmSendError`, a reset
+  packet resynchronizes the receiver, and the simulation keeps
+  running.  This is what recovers packets flushed by a full in-transit
+  buffer pool (paper Section 4's "GM software has mechanisms to
+  retransmit missing packets") and what degrades sends over a
+  permanently faulted path.
+
+``docs/RELIABILITY.md`` documents the protocol state machine and the
+timeout/backoff constants.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Deque, Optional
 
 import numpy as np
 
 from repro.mcp.firmware import TransitPacket
 from repro.mcp.packet_format import TYPE_GM
 from repro.nic.lanai import Nic
-from repro.routing.routes import ItbRoute
+from repro.routing.routes import ItbRoute, RouteError
 from repro.sim.engine import Event, Simulator, Timeout
 from repro.sim.resources import Store
 
@@ -61,6 +72,11 @@ class _Connection:
     next_seq: int = 0          # next sequence number to assign
     expected_seq: int = 0      # next in-order sequence expected (recv side)
     unacked: dict = field(default_factory=dict)  # seq -> _SendState
+    backoff_exp: int = 0       # consecutive timeouts without ack progress
+    timer_armed: bool = False
+    timer_gen: int = 0         # bumping invalidates scheduled checks
+    window_waiters: Deque[Event] = field(default_factory=deque)
+    last_nack_seq: int = -1    # dedupe fast retransmits per hole
 
 
 @dataclass
@@ -99,11 +115,21 @@ class GmHost:
     reliable:
         Enable acks + retransmission.  Latency tests may disable it to
         match ``gm_allsize``'s measurement of the data path only; it
-        must be on for buffer-pool flush experiments.
+        must be on for buffer-pool flush and fault experiments.
     ack_payload:
         Wire payload bytes of an ack packet (control packets are tiny).
     resend_timeout_ns / max_retries:
-        Go-back-N parameters.
+        Go-back-N base timeout and per-packet retransmission budget.
+    backoff_factor / max_backoff_ns:
+        The retransmission timeout grows by ``backoff_factor`` per
+        consecutive timeout without ack progress, capped at
+        ``max_backoff_ns``; any cumulative-ack progress resets it.
+    window:
+        Maximum unacked packets per connection; ``send()`` processes
+        stall (simulated time) when the window is full.
+    nack_enabled:
+        Receivers nack the first missing sequence on a gap, letting
+        the sender fast-retransmit without waiting out the timer.
     """
 
     def __init__(
@@ -115,6 +141,10 @@ class GmHost:
         ack_payload: int = 8,
         resend_timeout_ns: float = 1_000_000.0,
         max_retries: int = 64,
+        backoff_factor: float = 2.0,
+        max_backoff_ns: float = 16_000_000.0,
+        window: int = 64,
+        nack_enabled: bool = True,
     ) -> None:
         self.sim = sim
         self.nic = nic
@@ -125,6 +155,10 @@ class GmHost:
         self.ack_payload = ack_payload
         self.resend_timeout_ns = resend_timeout_ns
         self.max_retries = max_retries
+        self.backoff_factor = backoff_factor
+        self.max_backoff_ns = max_backoff_ns
+        self.window = window
+        self.nack_enabled = nack_enabled
         self._rng = np.random.default_rng(
             np.random.SeedSequence(entropy=seed, spawn_key=(nic.host,))
         )
@@ -134,7 +168,13 @@ class GmHost:
         self._msg_counter = 0
         self.messages_sent = 0
         self.messages_received = 0
+        self.messages_failed = 0
         self.retransmissions = 0
+        self.timeouts = 0
+        self.nacks_sent = 0
+        self.nacks_received = 0
+        self.send_errors = 0
+        self.route_failures = 0
         nic.deliver_up = self._on_nic_deliver
         # Back-reference for the port layer (repro.gm.ports).
         nic._gm_host = self  # type: ignore[attr-defined]
@@ -153,8 +193,10 @@ class GmHost:
         """gm_send(): returns an event that fires at *send completion*.
 
         With reliability on, completion means every packet of the
-        message has been acked; with it off, completion fires when the
-        last packet has been handed to the NIC.
+        message has been acked — or the event *fails* with
+        :class:`GmSendError` when the retransmission budget runs out.
+        With it off, completion fires when the last packet has been
+        handed to the NIC.
         """
         if length < 0:
             raise ValueError("negative message length")
@@ -188,6 +230,16 @@ class GmHost:
             remaining -= chunk
             # Host-side gm_send work per packet (descriptor, pinning).
             yield Timeout(t.host_send_sw_ns + self._host_noise())
+            if self.reliable and msg_id not in self._in_flight:
+                return  # connection failed under us (budget exhausted)
+            # Send-window backpressure: gm_send blocks while the
+            # go-back-N window is full of unacked packets.
+            while self.reliable and len(conn.unacked) >= self.window:
+                gate = Event(self.sim, name=f"window[{self.name}]")
+                conn.window_waiters.append(gate)
+                ok = yield gate
+                if ok is False or msg_id not in self._in_flight:
+                    return  # woken by connection failure
             seq = conn.next_seq
             conn.next_seq += 1
             state = _SendState(
@@ -197,8 +249,10 @@ class GmHost:
             )
             if self.reliable:
                 conn.unacked[seq] = state
-                self._arm_resend_timer(dst, state)
-            self._push_packet(dst, state)
+                self._push_packet(dst, state)
+                self._arm_timer(dst, conn)
+            else:
+                self._push_packet(dst, state)
         self.messages_sent += 1
         if not self.reliable and not done.triggered:
             done.succeed()
@@ -214,30 +268,96 @@ class GmHost:
             "last": state.last_packet,
             "reliable": self.reliable,
         }
-        self.nic.firmware.host_send(
-            dst=dst,
-            payload_len=state.length,
-            ptype=TYPE_GM,
-            gm=gm,
-            route=state.route,
-        )
+        if self.reliable:
+            # Piggybacked cumulative ack for the reverse direction.
+            gm["ack"] = self._connections[dst].expected_seq - 1
+        try:
+            self.nic.firmware.host_send(
+                dst=dst,
+                payload_len=state.length,
+                ptype=TYPE_GM,
+                gm=gm,
+                route=state.route,
+            )
+        except RouteError:
+            if not self.reliable:
+                raise
+            # No route (the mapper dropped an unreachable destination
+            # after a fault): the packet never reaches the wire.  The
+            # retransmission timer keeps retrying; the budget converts
+            # a permanent hole into a graceful GmSendError.
+            self.route_failures += 1
 
-    def _arm_resend_timer(self, dst: int, state: _SendState) -> None:
-        def check() -> None:
-            conn = self._connections[dst]
-            if state.acked or state.seq not in conn.unacked:
-                return
-            if state.retries >= self.max_retries:
-                raise GmSendError(
-                    f"{self.name}: seq {state.seq} to {dst} exceeded"
-                    f" {self.max_retries} retries"
-                )
+    # -- retransmission timer -------------------------------------------
+
+    def _current_timeout_ns(self, conn: _Connection) -> float:
+        t = self.resend_timeout_ns * (self.backoff_factor ** conn.backoff_exp)
+        return min(t, self.max_backoff_ns)
+
+    def _arm_timer(self, dst: int, conn: _Connection) -> None:
+        if conn.timer_armed or not conn.unacked:
+            return
+        conn.timer_armed = True
+        gen = conn.timer_gen
+        self.sim.schedule(self._current_timeout_ns(conn),
+                          lambda: self._timer_fired(dst, gen))
+
+    def _timer_fired(self, dst: int, gen: int) -> None:
+        conn = self._connections.get(dst)
+        if conn is None or gen != conn.timer_gen:
+            return  # superseded by ack progress or connection failure
+        conn.timer_armed = False
+        if not conn.unacked:
+            return
+        oldest = min(conn.unacked)
+        if conn.unacked[oldest].retries >= self.max_retries:
+            self._fail_connection(
+                dst, conn,
+                f"seq {oldest} to {dst} exceeded {self.max_retries} retries")
+            return
+        self.timeouts += 1
+        conn.backoff_exp += 1
+        # Go-back-N: retransmit every unacked packet, in order.
+        for seq in sorted(conn.unacked):
+            state = conn.unacked[seq]
             state.retries += 1
             self.retransmissions += 1
             self._push_packet(dst, state)
-            self.sim.schedule(self.resend_timeout_ns, check)
+        self._arm_timer(dst, conn)
 
-        self.sim.schedule(self.resend_timeout_ns, check)
+    def _fail_connection(self, dst: int, conn: _Connection,
+                         reason: str) -> None:
+        """Retransmission budget exhausted: degrade gracefully.
+
+        Every in-flight message to ``dst`` fails its completion event
+        with :class:`GmSendError`; the send state is purged, window
+        waiters are released, and a reset packet tells the receiver to
+        resynchronize its expected sequence so *later* messages start
+        clean.  The simulation keeps running.
+        """
+        self.send_errors += 1
+        err = GmSendError(f"{self.name}: {reason}")
+        conn.unacked.clear()
+        conn.timer_gen += 1
+        conn.timer_armed = False
+        conn.backoff_exp = 0
+        conn.last_nack_seq = -1
+        for msg_id, flight in list(self._in_flight.items()):
+            if flight.dst != dst:
+                continue
+            del self._in_flight[msg_id]
+            self.messages_failed += 1
+            if flight.done is not None and not flight.done.triggered:
+                flight.done.fail(err)
+        self._wake_window_waiters(conn, ok=False)
+        self._send_control(dst, {"kind": "reset",
+                                 "reset_seq": conn.next_seq})
+
+    def _wake_window_waiters(self, conn: _Connection, ok: bool) -> None:
+        while conn.window_waiters:
+            gate = conn.window_waiters.popleft()
+            if not gate.triggered:
+                gate.succeed(ok)
 
     # ------------------------------------------------------------------
     # receiving
@@ -253,6 +373,13 @@ class GmHost:
         if kind == "ack":
             self._handle_ack(tp)
             return
+        if kind == "nack":
+            self._handle_nack(tp)
+            return
+        if kind == "reset":
+            conn = self._connections.setdefault(tp.src, _Connection())
+            conn.expected_seq = tp.gm.get("reset_seq", conn.expected_seq)
+            return
         self.sim.process(self._recv_proc(tp), name=f"gmrecv[{self.name}]")
 
     def _recv_proc(self, tp: TransitPacket):
@@ -266,10 +393,19 @@ class GmHost:
         conn = self._connections.setdefault(tp.src, _Connection())
         seq = tp.gm.get("seq", conn.expected_seq)
         reliable = tp.gm.get("reliable", False)
+        if reliable and "ack" in tp.gm:
+            # Piggybacked cumulative ack for our sends toward tp.src.
+            self._process_ack(tp.src, tp.gm["ack"])
         if reliable:
             if seq != conn.expected_seq:
-                # Out-of-order (a retransmit follow-on or duplicate):
-                # go-back-N receivers drop and re-ack the last good one.
+                # Out-of-order: go-back-N receivers drop it.  A gap
+                # (seq ran ahead) nacks the first missing sequence for
+                # fast retransmit; either way re-ack the last good one.
+                if seq > conn.expected_seq and self.nack_enabled:
+                    self.nacks_sent += 1
+                    self._send_control(
+                        tp.src,
+                        {"kind": "nack", "nack_seq": conn.expected_seq})
                 self._send_ack(tp.src, conn.expected_seq - 1)
                 return
             conn.expected_seq += 1
@@ -288,20 +424,42 @@ class GmHost:
             self._recv_queue.put(msg)
 
     def _send_ack(self, dst: int, seq: int) -> None:
-        gm = {"kind": "ack", "ack_seq": seq}
-        self.nic.firmware.host_send(
-            dst=dst, payload_len=self.ack_payload, ptype=TYPE_GM, gm=gm,
-        )
+        self._send_control(dst, {"kind": "ack", "ack_seq": seq})
+
+    def _send_control(self, dst: int, gm: dict) -> None:
+        try:
+            self.nic.firmware.host_send(
+                dst=dst, payload_len=self.ack_payload, ptype=TYPE_GM, gm=gm,
+            )
+        except RouteError:
+            self.route_failures += 1  # best-effort control packet
 
     def _handle_ack(self, tp: TransitPacket) -> None:
+        self._process_ack(tp.src, tp.gm.get("ack_seq", -1))
+
+    def _handle_nack(self, tp: TransitPacket) -> None:
+        """Fast retransmit: the receiver is missing ``nack_seq``."""
+        self.nacks_received += 1
+        want = tp.gm.get("nack_seq", -1)
+        # Everything below the hole is implicitly acked.
+        self._process_ack(tp.src, want - 1)
         conn = self._connections.setdefault(tp.src, _Connection())
-        ack_seq = tp.gm.get("ack_seq", -1)
+        if want in conn.unacked and conn.last_nack_seq != want:
+            conn.last_nack_seq = want
+            for seq in sorted(conn.unacked):
+                self.retransmissions += 1
+                self._push_packet(tp.src, conn.unacked[seq])
+
+    def _process_ack(self, src: int, ack_seq: int) -> None:
+        conn = self._connections.setdefault(src, _Connection())
+        progressed = False
         # Cumulative ack: everything <= ack_seq is confirmed.
         for seq in sorted(conn.unacked):
             if seq > ack_seq:
                 break
             state = conn.unacked.pop(seq)
             state.acked = True
+            progressed = True
             flight = self._in_flight.get(state.msg_id)
             if flight is not None:
                 flight.packets_acked += 1
@@ -310,6 +468,14 @@ class GmHost:
                         and not flight.done.triggered):
                     flight.done.succeed()
                     del self._in_flight[state.msg_id]
+        if progressed:
+            # Ack progress resets the backoff and restarts the timer
+            # for whatever is still outstanding.
+            conn.backoff_exp = 0
+            conn.timer_gen += 1
+            conn.timer_armed = False
+            self._arm_timer(src, conn)
+            self._wake_window_waiters(conn, ok=True)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<GmHost {self.name} sent={self.messages_sent}>"

@@ -21,9 +21,10 @@ from repro.routing.updown import UpDownRouter
 from repro.topology.graph import Topology
 
 if TYPE_CHECKING:  # pragma: no cover - import-cycle guard
+    from repro.core.builder import BuiltNetwork
     from repro.routing.cache import RouteCache
 
-__all__ = ["run_mapper"]
+__all__ = ["remap_tables", "run_mapper"]
 
 
 def run_mapper(
@@ -88,3 +89,62 @@ def run_mapper(
     for host, table in tables.items():
         nics[host].route_table = table
     return orientation
+
+
+def remap_tables(
+    net: "BuiltNetwork",
+    down_links: set[int],
+    dead_hosts: Optional[set[int]] = None,
+) -> int:
+    """Re-route a degraded network in place (fault recovery).
+
+    Models the outcome of the mapper's re-discovery pass after a
+    fault: routes are recomputed on a copy of the topology with the
+    down cables removed and stamped over the live NIC route tables of
+    every still-reachable host.  An ITB route whose in-transit host
+    died is thereby re-split through an alternate host on the same
+    violation switch (the degraded ``hosts_on`` no longer offers the
+    dead one).  Pairs that the degraded fabric cannot route — the
+    destination is unreachable, or the switch graph is disconnected —
+    keep their stale route: packets toward them die on the wire and
+    the sender's retransmission budget degrades the send gracefully.
+
+    Returns the number of (src, dst) pairs whose route was updated.
+    """
+    dead_hosts = dead_hosts or set()
+    topo = net.topo
+    degraded = topo.without_links(down_links) if down_links else topo
+    alive = [
+        h for h in sorted(net.nics)
+        if h not in dead_hosts
+        and topo.host_link(h).link_id not in down_links
+    ]
+    routing = getattr(net.config.routing, "value", net.config.routing)
+    try:
+        orientation = build_orientation(degraded, root=net.config.root)
+    except RouteError:
+        # The configured root lost every cable: let the mapper elect a
+        # new one, as the real re-discovery would.
+        try:
+            orientation = build_orientation(degraded)
+        except RouteError:
+            return 0  # no usable fabric at all; keep every stale route
+    if routing == "itb":
+        router = ItbRouter(degraded, orientation)
+    else:
+        router = UpDownRouter(degraded, orientation)
+    updated = 0
+    for src in alive:
+        table = net.nics[src].route_table
+        if table is None:
+            continue
+        for dst in alive:
+            if dst == src:
+                continue
+            try:
+                route = router.itb_route(src, dst)
+            except (RouteError, KeyError):
+                continue  # unroutable on the degraded fabric: keep stale
+            table.install(dst, route)
+            updated += 1
+    return updated

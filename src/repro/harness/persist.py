@@ -27,6 +27,7 @@ from repro.harness.ablations import (AblationLoadResult,
                                      BufferPoolStudyResult,
                                      TimingSweepResult)
 from repro.harness.apps import AppsResult
+from repro.harness.faultcamp import FaultCampaignResult
 from repro.harness.fig7 import Fig7Result
 from repro.harness.fig8 import Fig8Result
 from repro.harness.root_study import RootStudyResult
@@ -39,6 +40,7 @@ _FORMAT_VERSION = 2
 #: kind name -> result dataclass; the single registry the generic
 #: codec needs (both directions are derived from it).
 _RESULT_KINDS: dict[str, type] = {
+    "fault-campaign": FaultCampaignResult,
     "fig7": Fig7Result,
     "fig8": Fig8Result,
     "throughput": ThroughputResult,

@@ -368,6 +368,11 @@ class Firmware:
         while self._recv_waiters and self.nic.recv_buffers.can_accept():
             worm, gate = self._recv_waiters.popleft()
             tp = worm.meta["tp"]
+            if tp.dropped or worm._killed:
+                # The stalled packet was lost while it waited (fault
+                # injection killed the worm): accepting it now would
+                # leak the buffer slot.  Skip to the next waiter.
+                continue
             self.nic.recv_buffers.try_accept(tp, worm.image.wire_length)
             gate.succeed()
 

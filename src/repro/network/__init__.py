@@ -10,7 +10,12 @@ effect of Stop&Go flow control with small slack buffers).
 
 from repro.network.fabric import Channel, Fabric
 from repro.network.worm import Worm, WormObserver
-from repro.network.faults import FaultPlan, install_fault_plan
+from repro.network.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    install_fault_plan,
+)
 from repro.network.flow_control import StopGoChannel, required_slack_bytes
 from repro.network.deadlock import (
     DeadlockReport,
@@ -25,6 +30,8 @@ __all__ = [
     "DeadlockWatchdog",
     "Fabric",
     "FabricUsage",
+    "FaultEvent",
+    "FaultInjector",
     "FaultPlan",
     "StopGoChannel",
     "Worm",

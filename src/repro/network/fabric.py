@@ -135,6 +135,14 @@ class Fabric:
         #: filled by the network builder so worms can find destination
         #: firmware objects).
         self.meta: dict = {}
+        #: Channel keys whose physical cable is currently down (fault
+        #: injection).  Empty on healthy networks — the worm hot paths
+        #: guard every check on the set being non-empty, so the
+        #: fault-free timing is untouched.
+        self.down_keys: set[tuple[int, int]] = set()
+        #: Hook invoked when a worm dies at a down channel (set by the
+        #: fault injector to account for the lost packet).
+        self.on_worm_lost = None
         self._channels: dict[tuple[int, int], Channel] = {}
         for link in topo.links:
             ends = link.endpoints()
@@ -211,6 +219,38 @@ class Fabric:
         return {
             key: ch.resource.in_use for key, ch in self._channels.items()
         }
+
+    # -- dynamic faults ---------------------------------------------------
+
+    def set_link_down(self, link_id: int) -> list:
+        """Mark both directions of a cable down; return the claimants.
+
+        The returned worms are every in-flight worm whose segment
+        claims either direction of the cable — holders, queued waiters,
+        and approaching heads alike.  Wormhole packets hold their whole
+        path until the tail drains, so a dead link under any part of a
+        claimed segment cuts that packet.  The caller (the fault
+        injector) decides what to do with them (kill + account).
+        """
+        victims: list = []
+        for direction in (0, 1):
+            key = (link_id, direction)
+            if key not in self._channels:
+                raise TopologyError(f"no link {link_id} in this fabric")
+            self.down_keys.add(key)
+            for worm in self._claimed_by.get(key, ()):
+                if worm not in victims:
+                    victims.append(worm)
+        return victims
+
+    def set_link_up(self, link_id: int) -> None:
+        """Repair a cable downed by :meth:`set_link_down`."""
+        self.down_keys.discard((link_id, 0))
+        self.down_keys.discard((link_id, 1))
+
+    def link_is_down(self, link_id: int) -> bool:
+        """True while ``link_id`` is marked down by a fault."""
+        return (link_id, 0) in self.down_keys
 
     # -- worm flight plans and the channel-claim index -------------------
 

@@ -46,9 +46,22 @@ from repro.core.timings import Timings
 from repro.mcp.packet_format import PacketImage
 from repro.network.fabric import Channel, Fabric, FlightPlan
 from repro.routing.routes import SourceRoute
-from repro.sim.engine import Simulator, Timeout
+from repro.sim.engine import Interrupt, Simulator, Timeout
 
 __all__ = ["Worm", "WormObserver"]
+
+
+class _LinkDown(Exception):
+    """Internal: a worm's head reached a channel whose cable is down.
+
+    The packet is lost on the wire (the switch output port is dead);
+    the worm aborts, releases everything it holds, and reports the
+    loss through ``fabric.on_worm_lost``.
+    """
+
+    def __init__(self, channel: Channel) -> None:
+        super().__init__(channel)
+        self.channel = channel
 
 #: Tolerance for accumulated float rounding in head-arrival schedules.
 #: ``head_at_input`` is built by summing hop latencies while ``sim.now``
@@ -116,6 +129,7 @@ class Worm:
         "blocked_ns", "_held", "_held_keys", "_plan", "_claimed",
         "_express_token", "_express_live", "_express_materialized",
         "_acq", "_image_out", "_early", "_remaining",
+        "_killed", "_active_proc",
     )
 
     _next_worm_id = 0
@@ -158,14 +172,51 @@ class Worm:
         self._image_out: Optional[PacketImage] = None
         self._early = 0.0
         self._remaining = 0.0
+        self._killed = False
+        #: The process currently driving this worm (the launch process,
+        #: then a gated or demoted tail if one takes over).  ``kill()``
+        #: interrupts it; a fully-virtual express flight has none.
+        self._active_proc = None
 
     # ------------------------------------------------------------------
 
     def launch(self) -> None:
         """Start the worm process at the current simulation time."""
-        self.sim.process(self._run(), name=f"worm{self.worm_id}")
+        self._active_proc = self.sim.process(
+            self._run(), name=f"worm{self.worm_id}")
+
+    def kill(self) -> None:
+        """Tear down an in-flight worm (fault injection).
+
+        Cancels any scheduled express callbacks, interrupts whichever
+        process is driving the worm, and releases every channel hold,
+        queued request, and claim.  Idempotent; a no-op once the worm
+        has completed.
+        """
+        if self._killed or self.complete_time is not None:
+            return
+        self._killed = True
+        self._express_token += 1  # cancels scheduled express callbacks
+        self._express_live = False
+        proc = self._active_proc
+        if proc is not None and proc.alive:
+            proc.interrupt("fault")
+        else:
+            # No generator to unwind (virtual or materialized express
+            # flight): settle the channel state synchronously.
+            self._abort()
 
     def _run(self):
+        try:
+            yield from self._flight()
+        except Interrupt:
+            self._abort()
+        except _LinkDown:
+            self._abort()
+            self._notify_lost()
+        return self
+
+    def _flight(self):
         sim, fabric = self.sim, self.fabric
         t = self.timings
         seg = self.segment
@@ -212,6 +263,11 @@ class Worm:
         arbiter = getattr(getattr(self.observer, "nic", None),
                           "arbiter", None)
         if arbiter is not None and arbiter.enabled:
+            return False
+        down = self.fabric.down_keys
+        if down and not down.isdisjoint(plan.keys):
+            # A dead cable on the route: take the stepped path so the
+            # head is lost at the down channel with exact timing.
             return False
         for ch in plan.channels:
             res = ch.resource
@@ -276,18 +332,23 @@ class Worm:
         # that waits out the gate (and the remaining bytes) exactly as
         # the stepped path would.
         self._express_token += 1  # cancel the scheduled completion
-        sim.process(self._gated_tail(gate, arbiter),
-                    name=f"worm{self.worm_id}-gated")
+        self._active_proc = sim.process(
+            self._gated_tail(gate, arbiter),
+            name=f"worm{self.worm_id}-gated")
 
     def _gated_tail(self, gate, arbiter):
         sim = self.sim
         try:
-            yield gate
-            if self._remaining > 0:
-                yield Timeout(self._remaining)
-        finally:
-            if arbiter is not None:
-                arbiter.engine_stop("recv_dma")
+            try:
+                yield gate
+                if self._remaining > 0:
+                    yield Timeout(self._remaining)
+            finally:
+                if arbiter is not None:
+                    arbiter.engine_stop("recv_dma")
+        except Interrupt:
+            self._abort()
+            return
         self.complete_time = sim.now
         self._express_release()
         self.observer.on_complete(self, sim.now)
@@ -364,11 +425,13 @@ class Worm:
         # the channel request the stepped worm would have made at this
         # exact calendar position, and it must not lose same-time FIFO
         # races through an extra immediate-lane hop.
-        sim.schedule_at(
-            acq[j],
-            lambda: sim.process_now(self._demoted_tail(hop),
-                                    name=f"worm{self.worm_id}-demoted"),
-        )
+        sim.schedule_at(acq[j], lambda: self._spawn_demoted(hop))
+
+    def _spawn_demoted(self, hop: int) -> None:
+        if self._killed:
+            return
+        self._active_proc = self.sim.process_now(
+            self._demoted_tail(hop), name=f"worm{self.worm_id}-demoted")
 
     def _demoted_tail(self, hop: int):
         """Stepped continuation from switch hop ``hop`` onwards.
@@ -377,7 +440,16 @@ class Worm:
         the prefix up to ``channels[hop]`` is already held with exact
         stepped timestamps.
         """
-        sim, fabric = self.sim, self.fabric
+        try:
+            yield from self._demoted_tail_body(hop)
+        except Interrupt:
+            self._abort()
+        except _LinkDown:
+            self._abort()
+            self._notify_lost()
+
+    def _demoted_tail_body(self, hop: int):
+        sim = self.sim
         plan = self._plan
         out = plan.channels[hop + 1]
         block_start = sim.now
@@ -478,10 +550,39 @@ class Worm:
                 f"worm {self.worm_id} re-enters channel {channel!r} it"
                 " already holds (self-deadlocking route)"
             )
+        down = self.fabric.down_keys
+        if down and channel.key in down:
+            # The output port feeding this cable is dead: the head
+            # cannot advance and the packet is lost on the wire.
+            raise _LinkDown(channel)
         req = channel.resource.request(owner=self)
         yield req
         self._held.append(channel)
         self._held_keys.add(channel.key)
+
+    def _abort(self) -> None:
+        """Fault teardown: cancel queued requests, settle stray grants,
+        and release every hold and claim.
+
+        A request granted in the same instant the worm was killed (the
+        holder released just before the interrupt landed) leaves the
+        worm in the resource's holder list without a ``_held`` entry;
+        such grants are released here so the channel is not wedged.
+        """
+        plan = self._plan
+        if plan is not None:
+            for ch in plan.channels:
+                if ch.key in self._held_keys:
+                    continue
+                res = ch.resource
+                if not res.cancel(self) and self in res.holders():
+                    res.release(owner=self)
+        self._release_all()
+
+    def _notify_lost(self) -> None:
+        hook = self.fabric.on_worm_lost
+        if hook is not None:
+            hook(self)
 
     def _release_all(self) -> None:
         for ch in self._held:

@@ -46,6 +46,7 @@ class NicStats:
     itb_immediate: int = 0         # re-injections started by Recv machine
     itb_pending: int = 0           # re-injections deferred (send busy)
     recv_blocked_ns: float = 0.0   # wire time stalled waiting for a buffer
+    packets_lost_in_flight: int = 0  # worms cut by a dynamic link fault
 
 
 class Nic:

@@ -23,7 +23,11 @@ Metric catalog (see ``docs/OBSERVABILITY.md`` for details):
   the balance summary statistics of the instrumentation module,
 * ``worm_express_hits`` / ``worm_express_fallbacks`` /
   ``worm_stepped_hops`` — worm express-lane counters (see
-  ``docs/ENGINE_FASTPATH.md``).
+  ``docs/ENGINE_FASTPATH.md``),
+* ``gm_retransmits`` / ``gm_timeouts`` / ``gm_dropped`` / ... — per
+  host GM reliability counters (see ``docs/RELIABILITY.md``),
+* ``faults_injected`` / ``remap_events`` / ``fault_*`` — fault-plan
+  counters, zero (and filtered from snapshots) without a plan.
 """
 
 from __future__ import annotations
@@ -55,6 +59,43 @@ _NIC_STAT_HELP = {
     "itb_immediate": "re-injections started by the Recv fast path",
     "itb_pending": "re-injections deferred to the Send machine",
     "recv_blocked_ns": "wire time stalled waiting for a buffer (ns)",
+    "packets_lost_in_flight": "worms cut mid-flight by a dynamic fault",
+}
+
+#: GmHost counter attributes published per host (metric -> attribute).
+_GM_COUNTERS = {
+    "gm_messages_sent": ("messages_sent",
+                         "messages fully handed to the NIC"),
+    "gm_messages_received": ("messages_received",
+                             "messages delivered to the application"),
+    "gm_retransmits": ("retransmissions",
+                       "data packets retransmitted (timeout or nack)"),
+    "gm_timeouts": ("timeouts",
+                    "go-back-N retransmission timer expiries"),
+    "gm_dropped": ("messages_failed",
+                   "messages failed with GmSendError (budget exhausted)"),
+    "gm_nacks_sent": ("nacks_sent",
+                      "nacks emitted for out-of-order arrivals"),
+    "gm_nacks_received": ("nacks_received",
+                          "nacks received (fast-retransmit triggers)"),
+    "gm_send_errors": ("send_errors",
+                       "connections failed by budget exhaustion"),
+    "gm_route_failures": ("route_failures",
+                          "sends with no route on the degraded fabric"),
+}
+
+#: FaultPlan counter attributes published network-wide.
+_FAULT_COUNTERS = {
+    "faults_injected": ("faults_injected",
+                        "dynamic fault events applied to the fabric"),
+    "fault_repairs": ("repairs", "fault events repaired"),
+    "remap_events": ("remap_events",
+                     "mapper route-table recomputations after faults"),
+    "fault_packets_lost": ("lost", "packets lost to probabilistic faults"),
+    "fault_packets_corrupted": ("corrupted",
+                                "packets corrupted (CRC drop) by faults"),
+    "fault_killed_in_flight": ("killed_in_flight",
+                               "in-flight worms cut by dynamic faults"),
 }
 
 
@@ -103,6 +144,26 @@ def _attach_nic(registry: MetricsRegistry, nic) -> None:
         )
     # Publish future firmware emit() calls as counters too.
     nic.metrics = registry
+    gm = getattr(nic, "_gm_host", None)
+    if gm is not None:
+        for name, (attr, help_) in _GM_COUNTERS.items():
+            registry.counter(
+                name, component=comp, help=help_,
+                fn=lambda g=gm, a=attr: getattr(g, a),
+            )
+
+
+def _attach_faults(registry: MetricsRegistry, fabric) -> None:
+    # The plan may be installed after instrumentation: resolve it
+    # lazily from fabric.meta at observation time.  With no plan every
+    # counter reads zero and observe()'s zero filter keeps snapshots
+    # (and goldens) unchanged.
+    for name, (attr, help_) in _FAULT_COUNTERS.items():
+        registry.counter(
+            name, component="fabric", help=help_,
+            fn=lambda f=fabric, a=attr: getattr(
+                f.meta.get("fault_plan"), a, 0),
+        )
 
 
 def _attach_express(registry: MetricsRegistry, fabric) -> None:
@@ -185,6 +246,7 @@ def instrument_network(
     for _host, nic in sorted(net.nics.items()):
         _attach_nic(registry, nic)
     _attach_express(registry, net.fabric)
+    _attach_faults(registry, net.fabric)
     usage: Optional[FabricUsage] = None
     if fabric_usage:
         usage = attach_usage_meter(net)

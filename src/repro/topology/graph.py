@@ -223,6 +223,31 @@ class Topology:
         self.connect(switch, switch_port, host, 0, kind=kind, length_m=length_m)
         return host
 
+    def without_links(self, link_ids: "set[int] | frozenset[int]") -> "Topology":
+        """A degraded copy of this topology with some cables removed.
+
+        Node ids are preserved (nodes are recreated in id order), so
+        routes computed on the copy are valid on the original fabric;
+        link ids shift to stay sequential, which is fine because
+        routing works in (switch, port) terms.  Used by the fault
+        injector to model the mapper's view after a link/switch/host
+        failure: hosts whose only cable is removed disappear from
+        ``hosts_on`` and stop being in-transit candidates.
+        """
+        clone = Topology(name=f"{self.name}-degraded")
+        for node in self._nodes:
+            if node.kind is NodeKind.SWITCH:
+                clone.add_switch(node.n_ports, name=node.name)
+            else:
+                clone.add_host(name=node.name)
+        for link in self._links:
+            if link.link_id in link_ids:
+                continue
+            clone.connect(link.node_a, link.port_a, link.node_b,
+                          link.port_b, kind=link.kind,
+                          length_m=link.length_m)
+        return clone
+
     def free_port(self, switch: int) -> int:
         """Lowest uncabled port number on ``switch``."""
         node = self._node(switch)

@@ -1,0 +1,360 @@
+"""Dynamic fault recovery: dead cables, switch resets, ITB re-splits.
+
+The tentpole claims of the fault subsystem, each pinned here:
+
+* a link dying under an in-flight worm releases its channels — the
+  fabric never wedges and the message is retransmitted to delivery,
+* a switch reset triggers the mapper's re-discovery (route remap on
+  the degraded topology; a real re-discovery pass sees the degraded
+  view),
+* an ITB route whose in-transit host dies is re-split through an
+  alternate host on the violation switch, and repair restores the
+  original split,
+* an unrecoverable fault degrades into ``GmSendError``, never a hang,
+* runs are deterministic: the same seed reproduces identical counters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.builder import build_network
+from repro.core.config import NetworkConfig
+from repro.core.timings import Timings
+from repro.gm.discovery import discover_network
+from repro.gm.host import GmSendError
+from repro.network.faults import FaultEvent, FaultInjector, FaultPlan, \
+    install_fault_plan
+from repro.sim.engine import Timeout
+from repro.topology.graph import PortKind, Topology
+
+
+def build(reliable=True, **kw):
+    cfg = NetworkConfig(
+        firmware="itb", routing="itb", reliable=reliable,
+        timings=Timings().with_overrides(host_jitter_sigma_ns=0.0), **kw,
+    )
+    return build_network("fig6", config=cfg)
+
+
+def interswitch_links(net):
+    """Link ids of the fig6 sw1<->sw2 parallel cables."""
+    sw1, sw2 = net.roles["sw1"], net.roles["sw2"]
+    return sorted(
+        link.link_id for link in net.topo.links
+        if {link.node_a, link.node_b} == {sw1, sw2})
+
+
+def resplit_testbed():
+    """A fabric whose only minimal h1->h2 path needs an ITB, with TWO
+    candidate in-transit hosts on the violation switch.
+
+    ::
+
+              R          root
+             / \\
+           M1   M2
+           |     |
+           S1    S2      h1 @ S1, h2 @ S2
+            \\   /
+              B          hx, hy @ B  (violation switch)
+
+    With root R, the minimal path S1-B-B-S2 has a down->up turn at B;
+    the long way around (S1-M1-R-M2-S2) is valid but two switches
+    longer, so the ITB router splits the minimal path at B through the
+    first host there (hx).
+    """
+    topo = Topology(name="itb-resplit")
+    r = topo.add_switch(4, name="R")
+    m1 = topo.add_switch(4, name="M1")
+    m2 = topo.add_switch(4, name="M2")
+    s1 = topo.add_switch(4, name="S1")
+    s2 = topo.add_switch(4, name="S2")
+    b = topo.add_switch(4, name="B")
+    topo.connect(r, 0, m1, 0, kind=PortKind.SAN)
+    topo.connect(r, 1, m2, 0, kind=PortKind.SAN)
+    topo.connect(m1, 1, s1, 0, kind=PortKind.SAN)
+    topo.connect(m2, 1, s2, 0, kind=PortKind.SAN)
+    topo.connect(s1, 1, b, 0, kind=PortKind.SAN)
+    topo.connect(s2, 1, b, 1, kind=PortKind.SAN)
+    h1 = topo.attach_host(s1, 2, kind=PortKind.SAN, name="h1")
+    h2 = topo.attach_host(s2, 2, kind=PortKind.SAN, name="h2")
+    hx = topo.attach_host(b, 2, kind=PortKind.SAN, name="hx")
+    hy = topo.attach_host(b, 3, kind=PortKind.SAN, name="hy")
+    topo.validate()
+    roles = {"h1": h1, "h2": h2, "hx": hx, "hy": hy, "root": r}
+    return topo, roles
+
+
+def build_resplit(reliable=True):
+    topo, roles = resplit_testbed()
+    cfg = NetworkConfig(
+        firmware="itb", routing="itb", reliable=reliable,
+        root=roles["root"],
+        timings=Timings().with_overrides(host_jitter_sigma_ns=0.0),
+    )
+    return build_network(topo, config=cfg, roles=roles)
+
+
+class TestLinkDownMidWorm:
+    def test_in_flight_worm_cut_channels_released_and_recovered(self):
+        """Kill the cable a worm is holding: its channels come free,
+        the fabric never wedges, and the retransmission delivers."""
+        net = build()
+        injector = FaultInjector(net, FaultPlan())
+        a, b = net.gm("host1"), net.gm("host2")
+        delivered = []
+
+        def rx():
+            while True:
+                msg = yield b.receive()
+                delivered.append(msg.tag)
+
+        net.sim.process(rx(), name="rx")
+        a.send(b.host, 4096, tag=7)
+        # Step until a worm has claimed one of the inter-switch cables
+        # (express worms claim without holding the channel Resource).
+        inter = interswitch_links(net)
+        held = None
+        t = 0.0
+        while held is None:
+            t += 100.0
+            net.sim.run(until=t)
+            assert t < 1_000_000, "worm never reached the fabric"
+            for link_id in inter:
+                for d in (0, 1):
+                    if net.fabric._claimed_by.get((link_id, d)):
+                        held = link_id
+        injector._apply(FaultEvent(kind="link-down", target=held,
+                                   at_ns=net.sim.now,
+                                   repair_ns=300_000.0))
+        assert injector.plan.killed_in_flight == 1
+        assert net.nic("host1").stats.packets_lost_in_flight == 1
+        # The cut worm released every channel immediately.
+        assert not net.fabric.channel(held, 0).resource.in_use
+        assert not net.fabric.channel(held, 1).resource.in_use
+        net.sim.run(until=60_000_000)
+        # The remap rerouted onto a parallel cable and the timeout
+        # retransmission delivered the message exactly once.
+        assert delivered == [7]
+        assert a.retransmissions >= 1
+        assert injector.plan.remap_events >= 1
+        for ch in net.fabric.channels():
+            assert not ch.resource.in_use, f"wedged channel {ch.key}"
+
+    def test_new_sends_toward_down_link_die_cleanly(self):
+        """A worm launched *after* the fault dies at the down channel
+        (no wedge) and the send still converges after repair."""
+        net = build()
+        plan = FaultPlan(events=tuple(
+            FaultEvent(kind="link-down", target=link_id, at_ns=1_000.0,
+                       repair_ns=500_000.0)
+            for link_id in interswitch_links(net)))
+        install_fault_plan(net, plan)
+        a, b = net.gm("host1"), net.gm("host2")
+        got = []
+
+        def rx():
+            while True:
+                msg = yield b.receive()
+                got.append(msg.tag)
+
+        def tx():
+            yield Timeout(5_000.0)  # launch while every cable is down
+            a.send(b.host, 512, tag=1)
+
+        net.sim.process(rx(), name="rx")
+        net.sim.process(tx(), name="tx")
+        net.sim.run(until=60_000_000)
+        assert got == [1]
+        assert plan.killed_in_flight >= 1
+        for ch in net.fabric.channels():
+            assert not ch.resource.in_use
+
+
+class TestSwitchReset:
+    def test_switch_reset_remaps_and_recovers(self):
+        net = build()
+        plan = FaultPlan(events=(
+            FaultEvent(kind="switch-reset", target=net.roles["sw2"],
+                       at_ns=100_000.0, repair_ns=300_000.0),
+        ))
+        install_fault_plan(net, plan)
+        a, b = net.gm("host1"), net.gm("host2")
+        got = []
+
+        def rx():
+            while True:
+                msg = yield b.receive()
+                got.append(msg.tag)
+
+        def tx():
+            for i in range(6):
+                a.send(b.host, 1024, tag=i)
+                yield Timeout(60_000.0)
+
+        net.sim.process(rx(), name="rx")
+        net.sim.process(tx(), name="tx")
+        net.sim.run(until=100_000_000)
+        assert sorted(got) == list(range(6))
+        assert plan.faults_injected == 1
+        assert plan.repairs == 1
+        # Re-discovery ran after the fault and after the repair.
+        assert plan.remap_events == 2
+        for ch in net.fabric.channels():
+            assert not ch.resource.in_use
+
+    def test_rediscovery_sees_degraded_view(self):
+        """A real discovery pass over the degraded topology reads the
+        dead cables as dead ports: the failed region vanishes."""
+        net = build()
+        full = discover_network(net, net.roles["host1"])
+        assert sorted(full.host_attach) == sorted(net.nics)
+        assert full.n_switches == 2
+        # Now the same pass with every sw1<->sw2 cable dead.
+        net2 = build()
+        degraded = net2.topo.without_links(set(interswitch_links(net2)))
+        part = discover_network(net2, net2.roles["host1"],
+                                topo=degraded)
+        assert part.n_switches == 1  # sw2 is unreachable
+        assert part.hosts == [net2.roles["host1"]]
+
+
+class TestItbResplit:
+    def test_route_splits_at_first_host(self):
+        net = build_resplit()
+        route = net.nics[net.roles["h1"]].route_table.lookup(
+            net.roles["h2"])
+        assert len(route.segments) == 2
+        assert route.segments[0].dst == net.roles["hx"]
+
+    def test_dead_itb_host_resplits_then_repair_restores(self):
+        net = build_resplit()
+        h1, h2 = net.roles["h1"], net.roles["h2"]
+        hx, hy = net.roles["hx"], net.roles["hy"]
+        plan = FaultPlan(events=(
+            FaultEvent(kind="host-down", target=hx, at_ns=100_000.0,
+                       repair_ns=500_000.0),
+        ))
+        install_fault_plan(net, plan)
+        a, b = net.gm("h1"), net.gm("h2")
+        got = []
+        mid_route = []
+
+        def rx():
+            while True:
+                msg = yield b.receive()
+                got.append(msg.tag)
+
+        def tx():
+            for i in range(12):
+                a.send(h2, 1024, tag=i)
+                yield Timeout(60_000.0)
+
+        def snapshot():
+            # After the fault's remap but before the repair.
+            mid_route.append(net.nics[h1].route_table.lookup(h2))
+
+        net.sim.process(rx(), name="rx")
+        net.sim.process(tx(), name="tx")
+        net.sim.schedule(100_000.0 + plan.remap_delay_ns + 1_000.0,
+                         snapshot)
+        net.sim.run(until=200_000_000)
+        # Mid-outage the ITB route re-split through the alternate host.
+        assert len(mid_route) == 1
+        assert len(mid_route[0].segments) == 2
+        assert mid_route[0].segments[0].dst == hy
+        # The repair's remap restored the original in-transit host.
+        final = net.nics[h1].route_table.lookup(h2)
+        assert final.segments[0].dst == hx
+        # Reliability rode out both transitions: all 12 delivered.
+        assert sorted(got) == list(range(12))
+        assert plan.remap_events == 2
+
+
+class TestGracefulDegradation:
+    def test_unrecoverable_host_down_fails_sends_not_sim(self):
+        net = build()
+        plan = FaultPlan(events=(
+            FaultEvent(kind="host-down", target=net.roles["host2"],
+                       at_ns=50_000.0),  # never repaired
+        ))
+        install_fault_plan(net, plan)
+        a = net.gm("host1")
+        a.max_retries = 4
+        a.resend_timeout_ns = 50_000.0
+        outcomes = []
+
+        def waiter(done):
+            try:
+                yield done
+                outcomes.append("ok")
+            except GmSendError:
+                outcomes.append("failed")
+
+        def tx():
+            for i in range(3):
+                net.sim.process(waiter(a.send(net.roles["host2"], 1024)))
+                yield Timeout(100_000.0)
+
+        net.sim.process(tx(), name="tx")
+        net.sim.run(until=100_000_000)  # completes: no exception, no wedge
+        assert len(outcomes) == 3
+        assert outcomes.count("failed") >= 2  # sends after the fault
+        assert a.send_errors >= 1
+        for ch in net.fabric.channels():
+            assert not ch.resource.in_use
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_counters(self):
+        from repro.harness.faultcamp import measure_fault_point
+
+        rows = [
+            measure_fault_point(
+                loss=0.1, corrupt=0.05, schedule="campaign",
+                n_messages=6, message_size=2048, seed=21)
+            for _ in range(2)
+        ]
+        assert dataclasses.asdict(rows[0]) == dataclasses.asdict(rows[1])
+        assert rows[0].retransmissions > 0  # the point exercised faults
+
+
+class TestLossyAllsizeAcceptance:
+    def test_five_percent_loss_allsize_zero_lost_messages(self):
+        """The headline acceptance: 5% loss on every link, a fig7-style
+        size ladder completes with zero lost messages, and the
+        retransmissions show up in the obs registry."""
+        from repro.obs.attach import instrument_network
+
+        net = build()
+        telemetry = instrument_network(net, fabric_usage=False)
+        plan = FaultPlan(loss_probability=0.05, seed=5)
+        install_fault_plan(net, plan)
+        a, b = net.gm("host1"), net.gm("host2")
+        sizes = (16, 256, 1024, 4096, 16384, 65536)
+        per_size = 3
+        got = []
+
+        def rx():
+            while True:
+                msg = yield b.receive()
+                got.append((msg.length, msg.tag))
+
+        def tx():
+            for size in sizes:
+                for i in range(per_size):
+                    a.send(b.host, size, tag=i)
+                    yield Timeout(20_000.0)
+
+        net.sim.process(rx(), name="rx")
+        net.sim.process(tx(), name="tx")
+        net.sim.run(until=400_000_000)
+        expected = [(size, i) for size in sizes for i in range(per_size)]
+        assert sorted(got) == sorted(expected)  # zero lost messages
+        assert plan.lost > 0  # the plan really dropped packets
+        assert a.messages_failed == 0 and a.send_errors == 0
+        retx = sum(m.value for m in telemetry.registry.collect()
+                   if m.name == "gm_retransmits")
+        assert retx > 0
+        assert retx == a.retransmissions + b.retransmissions

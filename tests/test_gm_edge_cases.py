@@ -100,12 +100,12 @@ class TestRetransmissionScope:
         count = {"n": 0}
         original_roll = plan.roll
 
-        def roll_third():
+        def roll_third(pid):
             count["n"] += 1
             if count["n"] == 3:
                 plan.lost += 1
                 return "lost"
-            return original_roll()
+            return original_roll(pid)
 
         plan.roll = roll_third  # type: ignore[method-assign]
         install_fault_plan(net, plan)

@@ -161,11 +161,10 @@ class TestReliability:
         assert net.nic("itb").stats.packets_flushed >= 1
         assert a.retransmissions >= 1
 
-    def test_retry_budget_exhaustion_raises(self):
-        """A destination that always flushes exhausts retries."""
-        from repro.harness.paths import fig6_paths
-        from repro.sim.engine import SimulationError
-
+    def test_retry_budget_exhaustion_fails_gracefully(self):
+        """A destination that always flushes exhausts retries: the send
+        completion event *fails* with GmSendError but the simulation
+        keeps running (no wedge, no crash)."""
         cfg = NetworkConfig(
             firmware="itb", routing="updown", reliable=True,
             recv_buffer_kind="pool", pool_bytes=600,
@@ -177,9 +176,27 @@ class TestReliability:
         a.resend_timeout_ns = 50_000.0
         # Occupy the destination pool forever so every arrival flushes.
         net.nic("host2").recv_buffers.try_accept("squatter", 550)
-        a.send(net.roles["host2"], 512)
-        with pytest.raises((GmSendError, SimulationError)):
-            net.sim.run(until=50_000_000)
+        done = a.send(net.roles["host2"], 512)
+        outcome = []
+
+        def waiter():
+            try:
+                yield done
+                outcome.append("ok")
+            except GmSendError as exc:
+                outcome.append(exc)
+
+        net.sim.process(waiter())
+        net.sim.run(until=50_000_000)
+        assert len(outcome) == 1
+        assert isinstance(outcome[0], GmSendError)
+        assert a.send_errors == 1
+        assert a.messages_failed == 1
+        assert a.timeouts >= 3
+        # State is purged: nothing left unacked, nothing in flight.
+        conn = a._connections[net.roles["host2"]]
+        assert not conn.unacked
+        assert not a._in_flight
 
     def test_duplicate_suppression(self):
         """A spurious retransmission (duplicate seq) is not delivered

@@ -110,7 +110,7 @@ class TestBestEffort:
         plan = FaultPlan(loss_probability=0.0, seed=1)
         count = {"n": 0}
 
-        def lose_second():
+        def lose_second(_pid):
             count["n"] += 1
             if count["n"] == 2:
                 plan.lost += 1
@@ -134,7 +134,7 @@ class TestBestEffort:
         plan = FaultPlan(loss_probability=0.0, seed=1)
         count = {"n": 0}
 
-        def lose_first():
+        def lose_first(_pid):
             count["n"] += 1
             return "lost" if count["n"] == 1 else "ok"
 

@@ -105,7 +105,7 @@ class TestLossRecovery:
         plan = FaultPlan(loss_probability=0.0, seed=1)
         count = {"n": 0}
 
-        def lose_first_data():
+        def lose_first_data(_pid):
             count["n"] += 1
             return "lost" if count["n"] == 1 else "ok"
 

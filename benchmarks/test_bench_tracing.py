@@ -1,0 +1,106 @@
+"""Benchmark: causal span tracing overhead.
+
+Not a paper figure — the observability cost guard.  Span tracing must
+be strictly zero-cost when disabled (every instrumentation point is a
+single attribute read plus an ``is None`` check) and cheap when
+sampling.  A fixed open-loop fig6 workload runs three ways — tracer
+off, tracer fully on, tracer on but sampling nothing — and the suite
+gates:
+
+* tracing never perturbs the simulation: bit-identical latency
+  samples with the tracer on and off,
+* an enabled-but-unsampled tracer records zero spans,
+* the headline ``speedup_ratio`` (fully-traced wall time / untraced
+  wall time) is checked against ``bench_baseline.json`` by ``repro
+  bench-report``: the ratio *falls* when the untraced path picks up
+  cost, which is exactly the regression this guard exists to catch.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.builder import build_network
+from repro.core.config import NetworkConfig
+from repro.core.timings import Timings
+from repro.harness.workloads import drive_traffic
+from repro.obs.tracing import SpanTracer
+
+
+def _run(trace_every) -> tuple:
+    """One fixed fig6 open-loop run; returns (latency tuple, n_spans).
+
+    ``trace_every=None`` leaves the tracer off entirely; ``0`` attaches
+    a tracer that samples nothing (the hot instrumentation points still
+    execute their guard checks)."""
+    cfg = NetworkConfig(
+        firmware="itb", routing="updown",
+        timings=Timings().with_overrides(host_jitter_sigma_ns=0.0),
+        reliable=False, recv_buffer_kind="pool", pool_bytes=1024 * 1024,
+        seed=5,
+    )
+    net = build_network("fig6", config=cfg)
+    if trace_every is not None:
+        net.fabric.tracer = SpanTracer(sample_every=trace_every)
+    stats = drive_traffic(
+        net, rate_bytes_per_ns_per_host=0.06, packet_size=512,
+        duration_ns=150_000.0, seed=7,
+    )
+    tracer = net.fabric.tracer
+    return tuple(stats.latencies_ns), 0 if tracer is None else len(tracer.spans)
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_bench_tracing_overhead(benchmark, bench_headline):
+    """The zero-cost-when-disabled gate.
+
+    The simulated results must be bit-identical with the tracer on and
+    off (tracing observes, never perturbs), full tracing must stay
+    within a small factor of untraced, and the traced/untraced ratio
+    is the baselined headline: it regresses downward if the *disabled*
+    path gains cost."""
+    lat_off, spans_off = _run(None)
+    lat_on, spans_on = _run(1)
+    assert spans_off == 0
+    assert spans_on > 0
+    assert lat_on == lat_off, "tracing perturbed the simulation"
+
+    benchmark(lambda: _run(1))
+
+    traced = _best_of(lambda: _run(1))
+    untraced = _best_of(lambda: _run(None))
+    ratio = traced / untraced
+    bench_headline["speedup_ratio"] = round(ratio, 3)
+    bench_headline["traced_s"] = round(traced, 6)
+    bench_headline["untraced_s"] = round(untraced, 6)
+    bench_headline["spans"] = spans_on
+    assert ratio < 3.0, (
+        f"full tracing costs {ratio:.2f}x over untraced"
+        f" (traced {traced * 1e3:.1f} ms, untraced {untraced * 1e3:.1f} ms)"
+    )
+
+
+def test_bench_unsampled_is_free(bench_headline):
+    """An attached tracer that samples nothing records zero spans,
+    changes nothing, and costs (almost) nothing."""
+    lat_off, _ = _run(None)
+    lat_idle, spans_idle = _run(0)
+    assert spans_idle == 0
+    assert lat_idle == lat_off
+
+    idle = _best_of(lambda: _run(0))
+    untraced = _best_of(lambda: _run(None))
+    ratio = idle / untraced
+    bench_headline["idle_ratio"] = round(ratio, 3)
+    assert ratio < 1.5, (
+        f"unsampled tracer costs {ratio:.2f}x — the disabled path is"
+        " supposed to be an is-None check"
+    )

@@ -21,6 +21,10 @@ experiment:
 * ``obs`` — run an instrumented workload and dump the unified
   telemetry (metrics, sampled time series, engine profile) as
   Prometheus text, JSON, CSV, and a chrome trace with counter tracks,
+* ``trace`` — run a traced workload and inspect the causal span trees:
+  ``summarize`` (top-N slowest messages as ASCII waterfalls),
+  ``critical-path`` (exclusive per-category latency attribution), and
+  ``export`` (canonical span dump + chrome trace with flow arrows),
 * ``bench-report`` — tabulate the ``BENCH_*.json`` trajectory files
   the benchmark suite writes, optionally failing on speedup-ratio
   regressions against a committed baseline.
@@ -182,7 +186,8 @@ def _cmd_all(args) -> int:
 
 
 def _cmd_obs(args) -> int:
-    from repro.harness.report import profiler_table, registry_table
+    from repro.harness.report import (profiler_table, quantile_cells,
+                                      registry_table)
     from repro.obs.run import export_all, run_obs
 
     if args.interval <= 0:
@@ -201,8 +206,10 @@ def _cmd_obs(args) -> int:
         warmup_ns=args.warmup * 1000.0,
         interval_ns=args.interval,
         traffic_seed=args.traffic_seed,
+        trace_every=args.trace_every,
     )
     t, lat = r.traffic, r.latency
+    p50, p90, p99, p999 = quantile_cells(lat)
     print(format_table(
         ["quantity", "value"],
         [
@@ -211,14 +218,14 @@ def _cmd_obs(args) -> int:
             ("dropped packets", t.dropped_packets),
             ("delivered fraction", t.delivered_fraction),
             ("mean latency (us)", lat.mean_us),
-            ("p50 / p90 (us)", f"{lat.p50 / 1000:.2f} / {lat.p90 / 1000:.2f}"),
-            ("p99 / p99.9 (us)",
-             f"{lat.p99 / 1000:.2f} / {lat.p999 / 1000:.2f}"),
+            ("p50 / p90 (us)", f"{p50} / {p90}"),
+            ("p99 / p99.9 (us)", f"{p99} / {p999}"),
         ],
         title=f"repro obs — {args.topology}, load {args.load}",
     ))
     print()
     print(registry_table(r.registry, title="telemetry (nonzero metrics)",
+                         kinds=("counter", "gauge", "histogram"),
                          limit=args.rows))
     if r.telemetry.profiler is not None:
         print()
@@ -232,6 +239,110 @@ def _cmd_obs(args) -> int:
         paths = export_all(r, args.out)
         for kind, path in sorted(paths.items()):
             print(f"wrote {kind}: {path}")
+    return 0
+
+
+def _waterfall_lines(roots, width: int = 44) -> list[str]:
+    """Render a span tree as depth-indented rows with scaled bars.
+
+    Each row is ``name | bar | duration``; the bar's position and
+    length map the span onto the trace's ``[t0, t1]`` window, so queue
+    waits, wire time, cut-through overlap, and retransmission gaps are
+    visible at a glance.
+    """
+    flat: list[tuple[dict, int]] = []
+
+    def _walk(node: dict, depth: int) -> None:
+        flat.append((node, depth))
+        for child in node["children"]:
+            _walk(child, depth + 1)
+
+    for root in roots:
+        _walk(root, 0)
+    t0 = min(n["start"] for n, _ in flat)
+    t1 = max(n["end"] if n["end"] is not None else n["start"]
+             for n, _ in flat)
+    window = max(t1 - t0, 1e-9)
+    lines = []
+    for node, depth in flat:
+        end = node["end"] if node["end"] is not None else t1
+        a = min(int((node["start"] - t0) / window * width), width - 1)
+        b = min(max(int((end - t0) / window * width), a + 1), width)
+        label = ("  " * depth + node["name"])[:26].ljust(26)
+        bar = (" " * a + "#" * (b - a)).ljust(width)
+        note = "" if node["status"] == "ok" else f"  [{node['status']}]"
+        lines.append(
+            f"{label}|{bar}| {(end - node['start']) / 1000.0:9.3f} us{note}")
+    return lines
+
+
+def _cmd_trace(args) -> int:
+    """``repro trace``: run a traced workload, inspect the span trees."""
+    from fractions import Fraction
+
+    from repro.obs.critical_path import CATEGORIES, breakdown_dump
+    from repro.obs.run import export_all, run_obs
+    from repro.obs.tracing import span_tree
+
+    r = run_obs(
+        topology=args.topology,
+        switches=args.switches,
+        hosts_per_switch=args.hosts_per_switch,
+        topo_seed=args.seed,
+        routing=args.routing,
+        load=args.load,
+        packet_size=args.packet_size,
+        duration_ns=args.duration * 1000.0,
+        warmup_ns=args.warmup * 1000.0,
+        traffic_seed=args.traffic_seed,
+        profile=False,
+        trace_every=args.every,
+    )
+    tracer = r.tracer
+    roots = tracer.roots()
+    breakdowns = breakdown_dump(tracer.spans)
+    in_flight = len(roots) - len(breakdowns)
+    print(f"traced {len(roots)} messages / {len(tracer.spans)} spans"
+          f" (sampling every {args.every});"
+          f" {len(breakdowns)} completed, {in_flight} in flight")
+
+    if args.action == "summarize":
+        slowest = sorted(breakdowns, key=lambda b: b.total_ns,
+                         reverse=True)[:args.top]
+        for b in slowest:
+            print(f"\ntrace {b.trace_id}: {b.total_ns / 1000.0:.3f} us,"
+                  f" {b.n_attempts} attempt(s), status {b.status}")
+            for line in _waterfall_lines(
+                    span_tree(tracer.spans_of(b.trace_id))):
+                print(f"  {line}")
+        return 0
+
+    if args.action == "critical-path":
+        totals = {cat: Fraction(0) for cat in CATEGORIES}
+        for b in breakdowns:
+            for cat, frac in b.fractions.items():
+                totals[cat] += frac
+        grand = sum(totals.values(), Fraction(0))
+        n = max(len(breakdowns), 1)
+        rows = [
+            (cat, float(totals[cat]) / 1000.0,
+             (100.0 * float(totals[cat] / grand)) if grand else 0.0,
+             float(totals[cat]) / n / 1000.0)
+            for cat in CATEGORIES
+        ]
+        rows.append(("TOTAL", float(grand) / 1000.0, 100.0 if grand else 0.0,
+                     float(grand) / n / 1000.0))
+        print()
+        print(format_table(
+            ["category", "total (us)", "share (%)", "mean/trace (us)"],
+            rows, title="critical-path attribution"
+        ))
+        return 0
+
+    # export
+    paths = export_all(r, args.out)
+    for kind, path in sorted(paths.items()):
+        print(f"wrote {kind}: {path}")
     return 0
 
 
@@ -399,9 +510,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--traffic-seed", type=int, default=7)
     p.add_argument("--rows", type=int, default=40,
                    help="max telemetry table rows printed")
+    p.add_argument("--trace-every", type=int, default=0,
+                   help="span-trace every Nth message (0 = tracing off);"
+                        " feeds the latency_breakdown_ns histograms")
     p.add_argument("--out", type=str, default="",
                    help="directory for the exporter dumps")
     p.set_defaults(func=_cmd_obs)
+
+    p = sub.add_parser("trace", help="causal span tracing: waterfalls,"
+                                     " critical path, span-dump export")
+    p.add_argument("action", choices=("summarize", "critical-path", "export"),
+                   help="summarize: top-N slowest messages as ASCII"
+                        " waterfalls; critical-path: per-category latency"
+                        " attribution; export: span dump + chrome trace")
+    p.add_argument("--topology", choices=("fig6", "random"),
+                   default="fig6")
+    p.add_argument("--switches", type=int, default=8)
+    p.add_argument("--hosts-per-switch", type=int, default=2)
+    p.add_argument("--routing", choices=("updown", "itb"),
+                   default="updown")
+    p.add_argument("--load", type=float, default=0.02,
+                   help="offered load (bytes/ns/host; link = 0.16)")
+    p.add_argument("--packet-size", type=int, default=512)
+    p.add_argument("--duration", type=float, default=50.0,
+                   help="measurement window (us)")
+    p.add_argument("--warmup", type=float, default=0.0,
+                   help="warmup before the window (us)")
+    p.add_argument("--seed", type=int, default=5)
+    p.add_argument("--traffic-seed", type=int, default=7)
+    p.add_argument("--every", type=_positive_int, default=1,
+                   help="trace every Nth message (1 = all)")
+    p.add_argument("--top", type=_positive_int, default=3,
+                   help="waterfalls printed by summarize")
+    p.add_argument("--out", type=str, default="traces",
+                   help="output directory for export")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("bench-report", help="tabulate BENCH_*.json benchmark"
                                             " trajectories; check a baseline")

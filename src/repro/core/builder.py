@@ -35,6 +35,13 @@ _FIRMWARES = {
     FirmwareKind.ITB: ItbFirmware,
 }
 
+#: Installed by :func:`repro.obs.tracing.configure`: a zero-argument
+#: callable returning a fresh span tracer, attached as
+#: ``fabric.tracer`` on every build.  Module-level (like the runner's
+#: worker cache) so forked pool workers inherit the setting; ``None``
+#: keeps tracing disabled with zero overhead.
+tracer_factory = None
+
 
 class BuiltNetwork:
     """A ready-to-run simulated Myrinet installation."""
@@ -168,6 +175,8 @@ def build_network(
     trace = Trace() if config.trace else None
     sim = Simulator(trace=trace)
     fabric = Fabric(sim, topo, config.timings)
+    if tracer_factory is not None:
+        fabric.tracer = tracer_factory()
 
     nics: dict[int, Nic] = {}
     gm_hosts: dict[int, GmHost] = {}

@@ -77,6 +77,20 @@ class PointContext:
                 totals[key] += value
         return totals
 
+    def span_dumps(self) -> list[str]:
+        """Canonical span dumps of every traced build at this point.
+
+        Empty unless span tracing is on (:func:`repro.obs.tracing.configure`
+        installs the tracer factory the builder attaches per fabric).
+        One JSON string per traced build, in build order.
+        """
+        dumps: list[str] = []
+        for fabric in self._fabrics:
+            tracer = getattr(fabric, "tracer", None)
+            if tracer is not None:
+                dumps.append(tracer.dump_json())
+        return dumps
+
     def finalize_observations(self) -> None:
         """Snapshot nonzero metric totals of every instrumented build."""
         for telemetry in self._instrumented:
@@ -103,6 +117,9 @@ class RunReport:
     #: Worm express-lane counters summed across every point (execution
     #: metadata — never part of the persisted result document).
     express: dict = field(default_factory=dict)
+    #: Canonical span dumps (one JSON string per traced build), merged
+    #: in point order — identical for serial and parallel runs.
+    span_dumps: list = field(default_factory=list)
     saved_to: Optional[str] = None
 
 
@@ -112,7 +129,7 @@ _worker_cache: Optional[RouteCache] = None
 
 
 def _measure_point(payload: tuple[ExperimentSpec, int, dict]
-                   ) -> tuple[int, Any, list, dict]:
+                   ) -> tuple[int, Any, list, dict, list]:
     """Evaluate one point (entry point for pool workers and the serial
     path alike, so both execute the exact same code)."""
     spec, index, point = payload
@@ -120,7 +137,7 @@ def _measure_point(payload: tuple[ExperimentSpec, int, dict]
     ctx = PointContext(spec, cache=_worker_cache)
     value = exp.measure(spec, point, ctx)
     ctx.finalize_observations()
-    return index, value, ctx.observations, ctx.express_summary()
+    return index, value, ctx.observations, ctx.express_summary(), ctx.span_dumps()
 
 
 class Runner:
@@ -176,10 +193,12 @@ class Runner:
 
         # Deterministic merge: results ordered by point index.
         outcomes.sort(key=lambda item: item[0])
-        values = [value for _i, value, _obs, _ex in outcomes]
-        observations = [obs for _i, _value, obs, _ex in outcomes]
+        values = [value for _i, value, _obs, _ex, _sp in outcomes]
+        observations = [obs for _i, _value, obs, _ex, _sp in outcomes]
+        span_dumps = [d for _i, _v, _obs, _ex, dumps in outcomes
+                      for d in dumps]
         express = {"hits": 0, "fallbacks": 0, "stepped_hops": 0}
-        for _i, _value, _obs, ex in outcomes:
+        for _i, _value, _obs, ex, _sp in outcomes:
             for key, v in ex.items():
                 express[key] = express.get(key, 0) + v
         if on_point is not None:
@@ -196,6 +215,7 @@ class Runner:
             cache_stats=self.cache.stats(),
             observations=observations,
             express=express,
+            span_dumps=span_dumps,
         )
         if save:
             from repro.harness.persist import save_results
@@ -226,7 +246,7 @@ class Runner:
 
 
 def _measure_point_with(cache: Optional[RouteCache],
-                        payload: tuple) -> tuple[int, Any, list]:
+                        payload: tuple) -> tuple[int, Any, list, dict, list]:
     """Serial-path helper: run ``_measure_point`` with a bound cache."""
     global _worker_cache
     _worker_cache = cache

@@ -90,6 +90,10 @@ class _SendState:
     acked: bool = False
     msg_id: int = 0
     last_packet: bool = False
+    #: Message root span (sampled traces only) and this packet's first
+    #: attempt span — retransmissions parent under the first attempt.
+    trace_root: Optional[object] = None
+    trace0: Optional[object] = None
 
 
 @dataclass
@@ -101,6 +105,7 @@ class _InFlightMessage:
     n_packets: int
     packets_acked: int = 0
     done: Optional[Event] = None
+    trace_root: Optional[object] = None
 
 
 class GmHost:
@@ -204,12 +209,19 @@ class GmHost:
         msg_id = (self.host << 24) | self._msg_counter
         n_packets = max(1, -(-length // GM_MTU))
         done = Event(self.sim, name=f"senddone[{self.name}]")
+        tracer = self.nic.fabric.tracer
+        root = None
+        if tracer is not None and tracer.sample():
+            root = tracer.begin(
+                "message", self.sim.now, component=f"gm[{self.name}]",
+                src=self.host, dst=dst, length=length, tag=tag,
+                msg_id=msg_id)
         self._in_flight[msg_id] = _InFlightMessage(
             msg_id=msg_id, dst=dst, length=length, tag=tag,
-            n_packets=n_packets, done=done,
+            n_packets=n_packets, done=done, trace_root=root,
         )
         self.sim.process(
-            self._send_proc(msg_id, dst, length, tag, route, done),
+            self._send_proc(msg_id, dst, length, tag, route, done, root),
             name=f"gmsend[{self.name}]",
         )
         return done
@@ -220,7 +232,8 @@ class GmHost:
             return 0.0
         return float(abs(self._rng.normal(0.0, sigma)))
 
-    def _send_proc(self, msg_id, dst, length, tag, route, done: Event):
+    def _send_proc(self, msg_id, dst, length, tag, route, done: Event,
+                   root=None):
         t = self.timings
         conn = self._connections.setdefault(dst, _Connection())
         remaining = length
@@ -229,7 +242,14 @@ class GmHost:
             chunk = min(GM_MTU, remaining) if length > 0 else 0
             remaining -= chunk
             # Host-side gm_send work per packet (descriptor, pinning).
+            hs = None
+            if root is not None:
+                hs = root.tracer.begin(
+                    "host_send", self.sim.now, parent=root,
+                    component=f"gm[{self.name}]", pkt=i)
             yield Timeout(t.host_send_sw_ns + self._host_noise())
+            if hs is not None:
+                hs.close(self.sim.now)
             if self.reliable and msg_id not in self._in_flight:
                 return  # connection failed under us (budget exhausted)
             # Send-window backpressure: gm_send blocks while the
@@ -237,7 +257,14 @@ class GmHost:
             while self.reliable and len(conn.unacked) >= self.window:
                 gate = Event(self.sim, name=f"window[{self.name}]")
                 conn.window_waiters.append(gate)
+                ws = None
+                if root is not None:
+                    ws = root.tracer.begin(
+                        "window_wait", self.sim.now, parent=root,
+                        component=f"gm[{self.name}]", pkt=i)
                 ok = yield gate
+                if ws is not None:
+                    ws.close(self.sim.now)
                 if ok is False or msg_id not in self._in_flight:
                     return  # woken by connection failure
             seq = conn.next_seq
@@ -246,6 +273,7 @@ class GmHost:
                 seq=seq, length=chunk, tag=tag, route=route,
                 t_first_send=self.sim.now, msg_id=msg_id,
                 last_packet=(i == n_packets - 1),
+                trace_root=root,
             )
             if self.reliable:
                 conn.unacked[seq] = state
@@ -271,6 +299,18 @@ class GmHost:
         if self.reliable:
             # Piggybacked cumulative ack for the reverse direction.
             gm["ack"] = self._connections[dst].expected_seq - 1
+        trace_ctx = None
+        root = state.trace_root
+        if root is not None:
+            tracer = root.tracer
+            attempt = tracer.begin(
+                "attempt", self.sim.now,
+                parent=state.trace0 if state.trace0 is not None else root,
+                component=f"gm[{self.name}]",
+                seq=state.seq, retry=state.retries, last=state.last_packet)
+            if state.trace0 is None:
+                state.trace0 = attempt
+            trace_ctx = tracer.packet(root, attempt)
         try:
             self.nic.firmware.host_send(
                 dst=dst,
@@ -278,8 +318,11 @@ class GmHost:
                 ptype=TYPE_GM,
                 gm=gm,
                 route=state.route,
+                trace=trace_ctx,
             )
         except RouteError:
+            if trace_ctx is not None:
+                trace_ctx.attempt.close(self.sim.now, "no-route")
             if not self.reliable:
                 raise
             # No route (the mapper dropped an unreachable destination
@@ -347,6 +390,8 @@ class GmHost:
                 continue
             del self._in_flight[msg_id]
             self.messages_failed += 1
+            if flight.trace_root is not None:
+                flight.trace_root.close(self.sim.now, "failed")
             if flight.done is not None and not flight.done.triggered:
                 flight.done.fail(err)
         self._wake_window_waiters(conn, ok=False)
@@ -384,8 +429,16 @@ class GmHost:
 
     def _recv_proc(self, tp: TransitPacket):
         t = self.timings
+        ctx = tp.trace
+        gr = None
+        if ctx is not None and ctx.root is not None:
+            gr = ctx.tracer.begin(
+                "gm_recv", self.sim.now, parent=ctx.root,
+                component=f"gm[{self.name}]")
         # Host-side receive work (event queue poll, token return).
         yield Timeout(t.host_recv_sw_ns + self._host_noise())
+        if gr is not None:
+            gr.close(self.sim.now)
         if tp.gm.get("kind", "data") != "data":
             # Control traffic (mapper scouts, diagnostics) is consumed
             # by the GM layer, never surfaced to the application.
@@ -405,11 +458,16 @@ class GmHost:
                     self.nacks_sent += 1
                     self._send_control(
                         tp.src,
-                        {"kind": "nack", "nack_seq": conn.expected_seq})
-                self._send_ack(tp.src, conn.expected_seq - 1)
+                        {"kind": "nack", "nack_seq": conn.expected_seq},
+                        parent=ctx.root if ctx is not None else None)
+                self._send_ack(tp.src, conn.expected_seq - 1,
+                               parent=ctx.root if ctx is not None else None)
                 return
             conn.expected_seq += 1
-            self._send_ack(tp.src, seq)
+            if ctx is not None:
+                ctx.attempt.attrs["accepted"] = True
+            self._send_ack(tp.src, seq,
+                           parent=ctx.root if ctx is not None else None)
         if tp.gm.get("last", True):
             msg = GmMessage(
                 src=tp.src,
@@ -422,16 +480,32 @@ class GmHost:
             )
             self.messages_received += 1
             self._recv_queue.put(msg)
+            if ctx is not None and ctx.root is not None:
+                # GM-level delivery of the last packet: the message's
+                # end-to-end latency ends here.  The ack packet's spans
+                # may extend past this close (t_acked lands in attrs).
+                ctx.root.close(self.sim.now)
 
-    def _send_ack(self, dst: int, seq: int) -> None:
-        self._send_control(dst, {"kind": "ack", "ack_seq": seq})
+    def _send_ack(self, dst: int, seq: int, parent=None) -> None:
+        self._send_control(dst, {"kind": "ack", "ack_seq": seq},
+                           parent=parent)
 
-    def _send_control(self, dst: int, gm: dict) -> None:
+    def _send_control(self, dst: int, gm: dict, parent=None) -> None:
+        trace_ctx = None
+        if parent is not None:
+            tracer = parent.tracer
+            span = tracer.begin(
+                gm.get("kind", "ctl"), self.sim.now, parent=parent,
+                component=f"gm[{self.name}]")
+            trace_ctx = tracer.packet(None, span)
         try:
             self.nic.firmware.host_send(
                 dst=dst, payload_len=self.ack_payload, ptype=TYPE_GM, gm=gm,
+                trace=trace_ctx,
             )
         except RouteError:
+            if trace_ctx is not None:
+                trace_ctx.attempt.close(self.sim.now, "no-route")
             self.route_failures += 1  # best-effort control packet
 
     def _handle_ack(self, tp: TransitPacket) -> None:
@@ -467,6 +541,8 @@ class GmHost:
                         and flight.done is not None
                         and not flight.done.triggered):
                     flight.done.succeed()
+                    if flight.trace_root is not None:
+                        flight.trace_root.attrs["t_acked"] = self.sim.now
                     del self._in_flight[state.msg_id]
         if progressed:
             # Ack progress resets the backoff and restarts the timer

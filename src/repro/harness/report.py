@@ -17,8 +17,34 @@ if TYPE_CHECKING:  # pragma: no cover - import-cycle guard
     from repro.obs.profiler import Profiler
     from repro.obs.registry import MetricsRegistry
 
-__all__ = ["format_table", "paper_vs_measured", "profiler_table",
-           "registry_table"]
+__all__ = ["QUANTILE_HEADERS", "format_table", "paper_vs_measured",
+           "profiler_table", "quantile_cells", "registry_table"]
+
+#: The standard latency quantiles every table renders, as
+#: ``(probability, LatencySummary attribute)`` pairs.
+_QUANTILES = ((0.50, "p50"), (0.90, "p90"), (0.99, "p99"), (0.999, "p999"))
+
+#: Column headers matching :func:`quantile_cells` output.
+QUANTILE_HEADERS = ("p50 (us)", "p90 (us)", "p99 (us)", "p99.9 (us)")
+
+
+def quantile_cells(source: Any) -> tuple[str, ...]:
+    """Render the standard latency quantiles (µs) of any source.
+
+    The one shared formatting path for quantiles: accepts a
+    :class:`~repro.obs.registry.Histogram` (interpolated bucket
+    quantiles) or a :class:`~repro.harness.metrics.LatencySummary`
+    (exact sample percentiles) and returns the four cells matching
+    :data:`QUANTILE_HEADERS`.
+    """
+    cells = []
+    for q, attr in _QUANTILES:
+        if hasattr(source, "quantile"):
+            value = source.quantile(q)
+        else:
+            value = getattr(source, attr)
+        cells.append(f"{value / 1000.0:.2f}")
+    return tuple(cells)
 
 
 def format_table(
@@ -81,8 +107,13 @@ def registry_table(
     all-zero rows (most per-channel metrics are quiet in small runs);
     ``name_prefix`` filters a metric family; ``limit`` truncates to
     the first N rows after sorting by name then labels.
+
+    Histograms render through the shared quantile path
+    (:func:`quantile_cells`) in a second table with per-quantile
+    columns when ``"histogram"`` is in ``kinds``.
     """
     rows: list[tuple[str, str, float]] = []
+    hist_rows: list[tuple] = []
     for metric in registry.collect():
         if metric.kind not in kinds:
             continue
@@ -93,10 +124,23 @@ def registry_table(
             continue
         labels = ",".join(
             f"{k}={v}" for k, v in sorted(metric.labels.items()))
+        if metric.kind == "histogram":
+            hist_rows.append((metric.name, labels, int(metric.count),
+                              *quantile_cells(metric)))
+            continue
         rows.append((metric.name, labels, value))
     if limit is not None:
         rows = rows[:limit]
-    return format_table(["metric", "labels", "value"], rows, title=title)
+        hist_rows = hist_rows[:limit]
+    parts = []
+    if rows or not hist_rows:
+        parts.append(
+            format_table(["metric", "labels", "value"], rows, title=title))
+    if hist_rows:
+        parts.append(format_table(
+            ["histogram", "labels", "count", *QUANTILE_HEADERS],
+            hist_rows, title="" if parts else title))
+    return "\n\n".join(parts)
 
 
 def profiler_table(

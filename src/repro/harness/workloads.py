@@ -152,7 +152,16 @@ def drive_traffic(
     t_meas = t_start + warmup_ns
     t_end = t_meas + duration_ns
 
+    tracer = net.fabric.tracer
+
     def on_final(tp: TransitPacket) -> None:
+        ctx = tp.trace
+        if ctx is not None and ctx.root is not None:
+            # Firmware-level workload: no GM host to close the message
+            # root, so final disposition closes it here.
+            ctx.root.close(
+                sim.now,
+                "ok" if not tp.dropped else (tp.drop_reason or "dropped"))
         if tp.dropped:
             stats.dropped_packets += 1
             return
@@ -177,10 +186,20 @@ def drive_traffic(
             if t_meas <= sim.now < t_end:
                 stats.offered_packets += 1
                 stats.offered_bytes += packet_size
+            trace_ctx = None
+            if tracer is not None and tracer.sample():
+                root = tracer.begin(
+                    "message", sim.now, component=f"traffic[{host}]",
+                    src=host, dst=dst, length=packet_size)
+                attempt = tracer.begin(
+                    "attempt", sim.now, parent=root,
+                    component=f"traffic[{host}]", seq=0, retry=0, last=True)
+                trace_ctx = tracer.packet(root, attempt)
             nic.firmware.host_send(
                 dst=dst, payload_len=packet_size,
                 gm={"kind": "data", "last": True},
                 on_delivered=on_final,
+                trace=trace_ctx,
             )
 
     for host in hosts:

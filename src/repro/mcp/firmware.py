@@ -96,6 +96,10 @@ class TransitPacket:
     dropped: bool = False
     drop_reason: str = ""
     on_delivered: Optional[Callable[["TransitPacket"], None]] = None
+    #: Span-trace context (:class:`repro.obs.tracing.PacketTrace`) for
+    #: sampled packets, ``None`` otherwise.  Duck-typed so this module
+    #: never imports the tracing package.
+    trace: Optional[object] = None
 
     @property
     def final_segment(self) -> bool:
@@ -156,6 +160,7 @@ class Firmware:
         gm: Optional[dict] = None,
         on_delivered: Optional[Callable[[TransitPacket], None]] = None,
         route: Optional[ItbRoute] = None,
+        trace: Optional[object] = None,
     ) -> TransitPacket:
         """Entry point from the host library: queue a send descriptor.
 
@@ -181,6 +186,7 @@ class Firmware:
             gm=gm or {},
             on_delivered=on_delivered,
             t_api_send=self.sim.now,
+            trace=trace,
         )
         self.sim.process(self._sdma(tp), name=f"sdma[{self.nic.name}]")
         return tp
@@ -191,6 +197,9 @@ class Firmware:
         t = self.timings
         dma = self.nic.host_dma
         arbiter = self.nic.arbiter
+        tr = tp.trace
+        if tr is not None:
+            tr.begin("sdma", self.sim.now, component=self._trace_component)
         yield dma.request(owner=tp)
         payload = tp.payload if tp.payload else tp.payload_len
         tp.image = encode_packet(tp.route, payload, final_type=tp.ptype)
@@ -198,6 +207,11 @@ class Firmware:
         yield Timeout(t.dma_setup_ns + t.pci_time(len(tp.image.data)))
         arbiter.engine_stop("host_dma")
         dma.release(owner=tp)
+        if tr is not None:
+            now = self.sim.now
+            tr.finish("sdma", now)
+            tr.begin("send_queue", now, component=self._trace_component,
+                     key="queue")
         self._send_work.put(("send", tp), priority=McpEventKind.SDMA_DONE)
 
     def _send_machine(self):
@@ -208,6 +222,12 @@ class Firmware:
         arbiter = self.nic.arbiter
         while True:
             kind, tp = yield self._send_work.get()
+            tr = tp.trace
+            if tr is not None:
+                now = self.sim.now
+                tr.finish("queue", now)
+                tr.begin("itb_dispatch" if kind == "itb" else "mcp_send",
+                         now, component=self._trace_component, key="dispatch")
             if kind == "itb":
                 # Deferred re-injection: one dispatch cycle was lost
                 # (the paper's Recv fast path exists to avoid this).
@@ -222,6 +242,10 @@ class Firmware:
     @property
     def _send_busy(self) -> bool:
         return not self._send_engine.free
+
+    @property
+    def _trace_component(self) -> str:
+        return f"mcp[{self.nic.name}]"
 
     def _inject(self, tp: TransitPacket):
         """Run the wire-side send DMA: launch the worm for the current
@@ -249,6 +273,11 @@ class Firmware:
         done = Event(self.sim, name=f"drain[{self.nic.name}]")
         worm.meta["on_drained"] = done
         self.nic.arbiter.engine_start("send_dma")
+        tr = tp.trace
+        if tr is not None:
+            # Dispatch (or ITB-program) work ends as the worm launches;
+            # the wire span opened by the worm takes over from here.
+            tr.finish("dispatch", self.sim.now)
         worm.launch()
         yield done
         self.nic.arbiter.engine_stop("send_dma")
@@ -256,6 +285,8 @@ class Firmware:
         if seg_index > 0:
             # Re-injection finished: free the in-transit buffer slot.
             self.nic.recv_buffers.release(tp)
+            if tr is not None:
+                tr.finish(f"itb_buffer{seg_index - 1}", self.sim.now)
             self.nic.emit("itb_buffer_release", pid=tp.pid, seg=seg_index)
             self._admit_recv_waiter()
 
@@ -287,6 +318,8 @@ class Firmware:
         if tp.dropped:
             # Flushed at on_header (buffer-pool overflow): the wire
             # drained into the bit bucket.  Report final disposition.
+            if tp.trace is not None:
+                tp.trace.attempt.close(t_now, tp.drop_reason or "dropped")
             if tp.on_delivered is not None:
                 tp.on_delivered(tp)
             return
@@ -303,6 +336,8 @@ class Firmware:
             self.nic.recv_buffers.release(tp)
             self._admit_recv_waiter()
             self.nic.emit("drop_unknown_type", pid=tp.pid)
+            if tp.trace is not None:
+                tp.trace.attempt.close(t_now, "unknown-type")
             if tp.on_delivered is not None:
                 tp.on_delivered(tp)
             return
@@ -314,6 +349,9 @@ class Firmware:
         """Recv machine processing, then RDMA into host memory."""
         t = self.timings
         arbiter = self.nic.arbiter
+        tr = tp.trace
+        if tr is not None:
+            tr.begin("recv", self.sim.now, component=self._trace_component)
         yield Timeout(arbiter.scaled(
             t.cycles(t.mcp_recv_cycles) + self._recv_extra_ns()))
         dma = self.nic.host_dma
@@ -325,6 +363,9 @@ class Firmware:
         self.nic.recv_buffers.release(tp)
         self._admit_recv_waiter()
         tp.t_deliver = self.sim.now
+        if tr is not None:
+            tr.finish("recv", tp.t_deliver)
+            tr.attempt.close(tp.t_deliver)
         self.nic.emit("deliver", pid=tp.pid)
         if self.nic.deliver_up is not None:
             self.nic.deliver_up(tp)
@@ -357,9 +398,14 @@ class Firmware:
         self._recv_waiters.append((worm, gate))
         self.nic.emit("recv_blocked", pid=tp.pid)
         stall_start = self.sim.now
+        tr = tp.trace
+        wait_span = None if tr is None else tr.begin(
+            "recv_wait", stall_start, component=self._trace_component)
 
         def _account(_ev: Event, start=stall_start) -> None:
             self.nic.stats.recv_blocked_ns += self.sim.now - start
+            if wait_span is not None:
+                wait_span.close(self.sim.now)
 
         gate.add_callback(_account)
         return gate
@@ -435,6 +481,14 @@ class ItbFirmware(Firmware):
         gate = self._claim_recv_buffer(worm, tp)
         if tp.dropped:
             return gate
+        tr = tp.trace
+        if tr is not None:
+            # Buffer residency: claim here, released when this host's
+            # re-injection drains (cut-through — it overlaps the next
+            # segment's wire span).
+            tr.begin("itb_buffer", self.sim.now,
+                     component=self._trace_component,
+                     key=f"itb_buffer{tp.seg_index}", seg=tp.seg_index)
         self.nic.emit("early_recv", pid=tp.pid, seg=tp.seg_index)
         self.sim.process(
             self._forward(worm, tp), name=f"itbfwd[{self.nic.name}]"
@@ -446,16 +500,24 @@ class ItbFirmware(Firmware):
         t = self.timings
         arbiter = self.nic.arbiter
         t_start = self.sim.now
+        tr = tp.trace
+        if tr is not None:
+            tr.begin("itb_detect", t_start, component=self._trace_component)
         # Event-handler dispatch + in-transit detection code.
         yield Timeout(arbiter.scaled(t.cycles(t.itb_early_recv_cycles)))
         _remaining_len, image2 = worm.image.strip_itb_stage()
         tp.image = image2
         tp.seg_index += 1
         tp.itb_times.append(t_start)
+        if tr is not None:
+            tr.finish("itb_detect", self.sim.now)
         if not self._send_busy and len(self._send_work) == 0:
             # Fast path: the Recv machine programs the send DMA itself,
             # avoiding one dispatching cycle (paper Figure 4, dashed).
             self.nic.stats.itb_immediate += 1
+            if tr is not None:
+                tr.begin("itb_program", self.sim.now,
+                         component=self._trace_component, key="dispatch")
             yield Timeout(arbiter.scaled(t.cycles(t.itb_program_dma_cycles)))
             self.nic.emit("reinject_immediate", pid=tp.pid, seg=tp.seg_index)
             yield from self._inject(tp)
@@ -464,5 +526,8 @@ class ItbFirmware(Firmware):
             # priority as soon as it frees up.
             self.nic.stats.itb_pending += 1
             self.nic.emit("reinject_pending", pid=tp.pid, seg=tp.seg_index)
+            if tr is not None:
+                tr.begin("itb_queue", self.sim.now,
+                         component=self._trace_component, key="queue")
             self._send_work.put(("itb", tp),
                                 priority=McpEventKind.ITB_PENDING)

@@ -143,6 +143,12 @@ class Fabric:
         #: Hook invoked when a worm dies at a down channel (set by the
         #: fault injector to account for the lost packet).
         self.on_worm_lost = None
+        #: Causal span tracer (:class:`repro.obs.tracing.SpanTracer`)
+        #: or ``None``.  The GM host, firmware, and worms all discover
+        #: tracing through this attribute; every instrumentation point
+        #: guards on it being non-None, so the disabled path costs one
+        #: attribute read.
+        self.tracer = None
         self._channels: dict[tuple[int, int], Channel] = {}
         for link in topo.links:
             ends = link.endpoints()

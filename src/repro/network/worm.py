@@ -129,7 +129,7 @@ class Worm:
         "blocked_ns", "_held", "_held_keys", "_plan", "_claimed",
         "_express_token", "_express_live", "_express_materialized",
         "_acq", "_image_out", "_early", "_remaining",
-        "_killed", "_active_proc",
+        "_killed", "_active_proc", "_span", "_hop_times",
     )
 
     _next_worm_id = 0
@@ -177,6 +177,11 @@ class Worm:
         #: then a gated or demoted tail if one takes over).  ``kill()``
         #: interrupts it; a fully-virtual express flight has none.
         self._active_proc = None
+        # Span tracing: the open "wire" span and the per-channel
+        # (request, acquire) times feeding its hop children.  Both stay
+        # None unless ``fabric.tracer`` is set at launch.
+        self._span = None
+        self._hop_times: Optional[list[tuple[float, float]]] = None
 
     # ------------------------------------------------------------------
 
@@ -232,6 +237,10 @@ class Worm:
         self._early = t.wire_time(min(t.early_recv_bytes, wire_len))
         self._remaining = t.wire_time(wire_len) - self._early
 
+        tracer = fabric.tracer
+        if tracer is not None:
+            self._trace_begin(tracer)
+
         # Interrupt intersecting express flights *before* looking at
         # channel state (their holds must be observable from here on),
         # then claim our own segment.
@@ -251,6 +260,68 @@ class Worm:
         fabric.express_stats.stepped_hops += plan.n_hops
         yield from self._run_stepped(plan)
         return self
+
+    # -- span tracing ---------------------------------------------------
+
+    def _trace_begin(self, tracer) -> None:
+        """Open this segment's "wire" span (tracer known non-None).
+
+        Firmware-driven worms parent under the packet's attempt span
+        and are skipped entirely for unsampled packets; bare worms
+        (tests, microbenchmarks) root their own trace.  Everything
+        recorded here is lane-independent: the express and stepped
+        paths produce bit-identical span trees for the same flight.
+        """
+        parent = None
+        tp = self.meta.get("tp")
+        attrs = {}
+        if tp is not None:
+            ctx = tp.trace
+            if ctx is None:
+                return  # unsampled packet
+            parent = ctx.attempt
+            attrs["seg"] = tp.seg_index
+        tag = self.meta.get("tag")
+        if tag is not None:
+            attrs["tag"] = tag
+        seg = self.segment
+        self._span = tracer.begin(
+            "wire", self.sim.now, parent=parent,
+            component=f"wire[{seg.src}->{seg.dst}]",
+            src=seg.src, dst=seg.dst,
+            bytes=self._image_out.wire_length, **attrs)
+        self._hop_times = []
+
+    def _trace_close(self, status: str = "ok") -> None:
+        """Close the wire span, emitting its per-hop children.
+
+        Hop spans run from channel request to channel grant; a
+        never-interrupted express flight materializes them from its
+        closed-form acquire clock (the same floats the stepped
+        generator would have recorded).  A killed virtual express
+        flight contributes only the holds mature at kill time —
+        exactly the channels its stepped twin would have acquired.
+        """
+        span = self._span
+        if span is None:
+            return
+        self._span = None
+        tracer = self.fabric.tracer
+        hops = self._hop_times or []
+        if not hops and self._acq:
+            now = self.sim.now
+            hops = [(a, a) for a in self._acq if a <= now]
+        for i, (t_req, t_acq) in enumerate(hops):
+            tracer.begin(f"hop{i}", t_req, parent=span,
+                         component=span.component).close(t_acq)
+        if self.header_time is not None:
+            span.attrs["header"] = self.header_time
+        span.attrs["blocked_ns"] = self.blocked_ns
+        span.close(self.sim.now, status)
+        if status != "ok":
+            tp = self.meta.get("tp")
+            if tp is not None and tp.trace is not None:
+                tp.trace.attempt.close(self.sim.now, status)
 
     # -- express lane ---------------------------------------------------
 
@@ -351,6 +422,7 @@ class Worm:
             return
         self.complete_time = sim.now
         self._express_release()
+        self._trace_close()
         self.observer.on_complete(self, sim.now)
 
     def _express_complete(self, token: int) -> None:
@@ -363,10 +435,16 @@ class Worm:
             arbiter.engine_stop("recv_dma")
         self.complete_time = sim.now
         self._express_release()
+        self._trace_close()
         self.observer.on_complete(self, sim.now)
 
     def _express_release(self) -> None:
         """Tail drained: settle channel holds and drop claims."""
+        if self._hop_times is not None and not self._hop_times:
+            # Fully virtual flight: replay the closed-form acquire
+            # clock into the hop record (uncontended, so request ==
+            # grant — bit-identical to the stepped lane).
+            self._hop_times = [(a, a) for a in self._acq]
         self._express_live = False
         if self._express_materialized or self._held:
             self._release_all()
@@ -408,6 +486,11 @@ class Worm:
                 note(self, acq[i])
             self._held.append(chans[i])
             self._held_keys.add(chans[i].key)
+        if self._hop_times is not None:
+            # Materialised holds were uncontended, so request == grant
+            # at the closed-form acquire instants — exactly what the
+            # stepped generator would have recorded.
+            self._hop_times = [(a, a) for a in acq[:j]]
         self._express_live = False
         if j == len(acq):
             # Whole path acquired; the express header/completion
@@ -455,6 +538,8 @@ class Worm:
         block_start = sim.now
         yield from self._acquire(out)
         self.blocked_ns += sim.now - block_start
+        if self._hop_times is not None:
+            self._hop_times.append((block_start, sim.now))
         head_at_input = sim.now + plan.falls[hop] + out.prop_ns
 
         for h in range(hop + 1, plan.n_hops):
@@ -465,6 +550,8 @@ class Worm:
             block_start = sim.now
             yield from self._acquire(out)
             self.blocked_ns += sim.now - block_start
+            if self._hop_times is not None:
+                self._hop_times.append((block_start, sim.now))
             head_at_input = sim.now + plan.falls[h] + out.prop_ns
 
         delay = _forward_delay(head_at_input, sim.now)
@@ -481,7 +568,10 @@ class Worm:
         # Injection channel: host NIC -> first switch.  The NIC's send
         # DMA only starts when the wire is free (Stop&Go at the source).
         out = plan.channels[0]
+        block_start = sim.now
         yield from self._acquire(out)
+        if self._hop_times is not None:
+            self._hop_times.append((block_start, sim.now))
         # Leading byte reaches the first switch after propagation + one
         # byte time on the wire.
         head_at_input = sim.now + out.prop_ns + t.link_byte_ns
@@ -496,6 +586,8 @@ class Worm:
             block_start = sim.now
             yield from self._acquire(out)
             self.blocked_ns += sim.now - block_start
+            if self._hop_times is not None:
+                self._hop_times.append((block_start, sim.now))
             head_at_input = sim.now + plan.falls[h] + out.prop_ns
 
         # Head (first byte past all switches) reaches the destination NIC.
@@ -536,6 +628,7 @@ class Worm:
                 arbiter.engine_stop("recv_dma")
         self.complete_time = sim.now
         self._release_all()
+        self._trace_close()
         self.observer.on_complete(self, sim.now)
 
     # ------------------------------------------------------------------
@@ -578,6 +671,7 @@ class Worm:
                 if not res.cancel(self) and self in res.holders():
                     res.release(owner=self)
         self._release_all()
+        self._trace_close("killed")
 
     def _notify_lost(self) -> None:
         hook = self.fabric.on_worm_lost

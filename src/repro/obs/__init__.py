@@ -15,10 +15,21 @@ The observability spine of the reproduction (see
 * :mod:`repro.obs.attach` — one call wires ``NicStats``,
   ``FabricUsage``, buffer occupancy, and firmware events into a fresh
   registry,
+* :mod:`repro.obs.tracing` — causal span tracing across the GM/ITB
+  stack (see ``docs/TRACING.md``),
+* :mod:`repro.obs.critical_path` — per-trace critical-path latency
+  attribution feeding the ``latency_breakdown_ns`` histograms,
 * :mod:`repro.obs.run` — the ``repro obs`` CLI workload runner.
 """
 
 from repro.obs.attach import Telemetry, instrument_network
+from repro.obs.critical_path import (
+    CATEGORIES,
+    Breakdown,
+    breakdown_dump,
+    breakdown_trace,
+    observe_breakdowns,
+)
 from repro.obs.exporters import (
     parse_prometheus_text,
     parse_series_csv,
@@ -39,8 +50,21 @@ from repro.obs.registry import (
 )
 from repro.obs.run import ObsResult, export_all, run_obs
 from repro.obs.sampler import Sample, Sampler, TimeSeries
+from repro.obs.tracing import (
+    PacketTrace,
+    Span,
+    SpanTracer,
+    configure,
+    configured_sample_every,
+    disable,
+    load_dump,
+    span_tree,
+    tree_signature,
+)
 
 __all__ = [
+    "Breakdown",
+    "CATEGORIES",
     "Counter",
     "DEFAULT_NS_BUCKETS",
     "Gauge",
@@ -49,19 +73,31 @@ __all__ = [
     "MetricError",
     "MetricsRegistry",
     "ObsResult",
+    "PacketTrace",
     "Profiler",
     "Sample",
     "Sampler",
+    "Span",
+    "SpanTracer",
     "Telemetry",
     "TimeSeries",
+    "breakdown_dump",
+    "breakdown_trace",
     "component_kind",
+    "configure",
+    "configured_sample_every",
+    "disable",
     "export_all",
     "instrument_network",
+    "load_dump",
+    "observe_breakdowns",
     "parse_prometheus_text",
     "parse_series_csv",
     "run_obs",
     "series_to_csv",
+    "span_tree",
     "to_json",
     "to_prometheus_text",
+    "tree_signature",
     "write_json",
 ]

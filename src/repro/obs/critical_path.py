@@ -1,0 +1,259 @@
+"""Critical-path latency attribution for span traces.
+
+Decomposes one traced message's end-to-end latency — root span start
+to root span close — into exclusive time categories that sum *bit
+exactly* to the measured latency:
+
+========================  ==============================================
+category                  time attributed
+========================  ==============================================
+``host``                  gm_send/gm_recv software, SDMA, MCP dispatch
+``send_queue``            send-work queue wait + send-window backpressure
+``wire``                  uncontended wire traversal (propagation,
+                          fall-through, byte streaming)
+``switch_blocking``       wormhole blocking: a hop waiting for a busy
+                          output channel
+``itb_buffer``            in-transit buffer residency not hidden by
+                          cut-through, and receive-buffer backpressure
+``reinject``              ITB detection + re-injection programming/queue
+``recv``                  destination Recv machine + RDMA to host
+``retransmit``            holes in the instrumented chain: timer waits
+                          and dead time between a lost attempt and its
+                          retransmission
+========================  ==============================================
+
+Exactness: the analyzer walks the elementary intervals between every
+span boundary inside ``[root.start, root.end]`` and assigns each
+interval to exactly one category, accumulating durations as
+:class:`fractions.Fraction` over the recorded float timestamps.  The
+per-interval durations telescope, so the exact rational total equals
+``Fraction(root.end) - Fraction(root.start)``; converting that single
+difference back to float is IEEE-754 correctly rounded and therefore
+bit-identical to the measured ``root.end - root.start``.  Categories
+partition the window by construction — no overlap, no gap.
+
+Cut-through caveat (see ``docs/TRACING.md``): the ``itb_buffer`` span
+covers the full claim→release residency, which *overlaps* the next
+segment's wire time by design (re-injection starts while the tail is
+still arriving).  The exclusive category therefore counts only the
+residency portions not claimed by a higher-priority category — the
+part that actually gates the message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterable, Optional, Union
+
+__all__ = [
+    "CATEGORIES",
+    "Breakdown",
+    "breakdown_dump",
+    "breakdown_trace",
+    "observe_breakdowns",
+]
+
+#: Exclusive time categories, in display order.
+CATEGORIES = (
+    "host",
+    "send_queue",
+    "wire",
+    "switch_blocking",
+    "itb_buffer",
+    "reinject",
+    "recv",
+    "retransmit",
+)
+
+#: Control-packet subtrees (acks and their firmware stages) are not
+#: part of the data path and never claim an interval.
+_CONTROL_NAMES = frozenset({"ack", "nack", "reset"})
+
+#: Priority-ordered (category, matcher) rules: the first rule with a
+#: covering span claims the interval.  Wormhole blocking outranks the
+#: wire span it nests in; receive-buffer stalls outrank the wire span
+#: of the packet stalled on it; the wire outranks the ITB buffer
+#: residency it overlaps via cut-through.
+_PRIORITY = (
+    ("switch_blocking", frozenset()),        # hop spans, special-cased
+    ("itb_buffer", frozenset({"recv_wait"})),
+    ("wire", frozenset({"wire"})),
+    ("reinject", frozenset({"itb_detect", "itb_program", "itb_queue"})),
+    ("itb_buffer", frozenset({"itb_buffer"})),
+    ("send_queue", frozenset({"send_queue", "window_wait"})),
+    ("recv", frozenset({"recv"})),
+    ("host", frozenset({"sdma", "mcp_send", "itb_dispatch",
+                        "host_send", "gm_recv"})),
+)
+
+
+@dataclass
+class Breakdown:
+    """One message's critical-path decomposition.
+
+    ``fractions`` holds the exact per-category durations; ``categories``
+    their float renderings for display.  The exactness invariant is
+    ``float(sum(fractions.values())) == total_ns``.
+    """
+
+    trace_id: int
+    start: float
+    end: float
+    status: str
+    n_attempts: int
+    fractions: dict = field(default_factory=dict)
+
+    @property
+    def total_ns(self) -> float:
+        return self.end - self.start
+
+    @property
+    def categories(self) -> dict:
+        return {k: float(v) for k, v in self.fractions.items()}
+
+    def exact_total(self) -> Fraction:
+        """Exact rational sum of all category durations.
+
+        Equals ``Fraction(root.end) - Fraction(root.start)`` by
+        construction; converting it to float reproduces ``total_ns``
+        bit-for-bit.
+        """
+        return sum(self.fractions.values(), Fraction(0))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Breakdown trace {self.trace_id}"
+                f" {self.total_ns:.0f} ns {self.status}>")
+
+
+def _as_dict(span) -> dict:
+    return span if isinstance(span, dict) else span.to_dict()
+
+
+def _interval_category(name: str, start, end) -> Optional[int]:
+    """Priority index claimed by a span name (None = no claim)."""
+    if name.startswith("hop"):
+        # A zero-length hop never covers an interval; a positive one
+        # is time the worm head waited for a busy output channel.
+        return 0
+    for i, (_cat, names) in enumerate(_PRIORITY):
+        if name in names:
+            return i
+    return None
+
+
+def breakdown_trace(spans: Iterable[Union[dict, object]]
+                    ) -> Optional["Breakdown"]:
+    """Decompose one trace's spans (all sharing a trace id).
+
+    Returns ``None`` for traces whose root never closed (message still
+    in flight at end of simulation, or unsampled).
+    """
+    recs = [_as_dict(s) for s in spans]
+    if not recs:
+        return None
+    root = next((r for r in recs if r["parent"] is None), None)
+    if root is None or root["end"] is None:
+        return None
+    t0, t1 = root["start"], root["end"]
+    if t1 < t0:  # pragma: no cover - defensive
+        return None
+
+    # Exclude control-packet subtrees (ack/nack/reset and descendants).
+    by_id = {r["span"]: r for r in recs}
+
+    def _excluded(r: dict) -> bool:
+        seen = set()
+        cur = r
+        while cur is not None and cur["span"] not in seen:
+            if cur["name"] in _CONTROL_NAMES:
+                return True
+            seen.add(cur["span"])
+            cur = by_id.get(cur["parent"])
+        return False
+
+    n_attempts = 0
+    retried = False
+    covers: list[tuple[float, float, int]] = []  # (start, end, priority)
+    bounds: set[float] = {t0, t1}
+    for r in recs:
+        if _excluded(r):
+            continue
+        if r["name"] == "attempt":
+            n_attempts += 1
+            if r["attrs"].get("retry", 0) or r["status"] not in ("ok", "open"):
+                retried = True
+        prio = _interval_category(r["name"], r["start"], r["end"])
+        if prio is None:
+            continue
+        s = max(r["start"], t0)
+        e = min(r["end"] if r["end"] is not None else t1, t1)
+        if e <= s:
+            continue
+        covers.append((s, e, prio))
+        bounds.add(s)
+        bounds.add(e)
+
+    # Holes in the instrumented chain are timer waits / dead time
+    # between attempts when the message was ever retransmitted or
+    # terminated; in a clean single-attempt chain any residual hole is
+    # uninstrumented host time.
+    gap_category = "retransmit" if (retried or n_attempts > 1) else "host"
+
+    fracs = {cat: Fraction(0) for cat in CATEGORIES}
+    cut = sorted(bounds)
+    for i in range(len(cut) - 1):
+        lo, hi = cut[i], cut[i + 1]
+        if hi <= lo:
+            continue
+        best: Optional[int] = None
+        for (s, e, prio) in covers:
+            if s <= lo and e >= hi and (best is None or prio < best):
+                best = prio
+        cat = gap_category if best is None else _PRIORITY[best][0]
+        fracs[cat] += Fraction(hi) - Fraction(lo)
+
+    return Breakdown(
+        trace_id=root["trace"], start=t0, end=t1, status=root["status"],
+        n_attempts=n_attempts, fractions=fracs,
+    )
+
+
+def breakdown_dump(spans: Iterable[Union[dict, object]]) -> list["Breakdown"]:
+    """Per-trace breakdowns for a whole span set (dump or tracer)."""
+    by_trace: dict[int, list[dict]] = {}
+    for s in spans:
+        r = _as_dict(s)
+        by_trace.setdefault(r["trace"], []).append(r)
+    out = []
+    for trace_id in sorted(by_trace):
+        b = breakdown_trace(by_trace[trace_id])
+        if b is not None:
+            out.append(b)
+    return out
+
+
+def observe_breakdowns(breakdowns: Iterable["Breakdown"], registry,
+                       buckets=None) -> None:
+    """Aggregate per-category durations into registry histograms.
+
+    One ``latency_breakdown_ns{category=...}`` histogram per category,
+    fed the float duration of every completed trace the category
+    actually appeared in (zero-duration categories are skipped, so the
+    count reads as "traces where this category was on the critical
+    path" and in-bucket quantile interpolation is not polluted by
+    zeros).
+    """
+    from repro.obs.registry import DEFAULT_NS_BUCKETS
+
+    if buckets is None:
+        buckets = DEFAULT_NS_BUCKETS
+    for b in breakdowns:
+        for cat, frac in b.fractions.items():
+            if not frac:
+                continue
+            registry.histogram(
+                "latency_breakdown_ns", buckets=buckets,
+                help="critical-path time per category (ns)",
+                labels={"category": cat},
+            ).observe(float(frac))

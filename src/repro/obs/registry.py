@@ -207,6 +207,32 @@ class Histogram(Metric):
         out.append((float("inf"), running + self.bucket_counts[-1]))
         return out
 
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile, linearly interpolated in-bucket.
+
+        Prometheus ``histogram_quantile`` semantics: the rank is
+        located in the cumulative distribution and interpolated
+        between the bucket's edges (the first bucket interpolates from
+        zero).  Observations above the last finite edge clamp to it.
+        Returns ``nan`` on an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return float("nan")
+        rank = q * self.count
+        running = 0
+        for i, edge in enumerate(self.buckets):
+            prev_running = running
+            running += self.bucket_counts[i]
+            if running >= rank:
+                lower = self.buckets[i - 1] if i > 0 else 0.0
+                if self.bucket_counts[i] == 0:  # pragma: no cover
+                    return edge
+                frac = (rank - prev_running) / self.bucket_counts[i]
+                return lower + (edge - lower) * frac
+        return self.buckets[-1]  # overflow bucket clamps to last edge
+
 
 class MetricsRegistry:
     """The process-wide metric store.

@@ -22,7 +22,9 @@ from repro.harness.chrome_trace import write_chrome_trace
 from repro.harness.metrics import LatencySummary, summarize_latencies
 from repro.harness.workloads import TrafficStats, drive_traffic
 from repro.obs.attach import Telemetry, instrument_network
+from repro.obs.critical_path import breakdown_dump, observe_breakdowns
 from repro.obs.exporters import to_prometheus_text, write_json
+from repro.obs.tracing import SpanTracer
 from repro.topology.generators import random_irregular
 
 __all__ = ["ObsResult", "export_all", "run_obs"]
@@ -42,6 +44,11 @@ class ObsResult:
         """Shortcut to the telemetry registry."""
         return self.telemetry.registry
 
+    @property
+    def tracer(self):
+        """The run's span tracer (``None`` when tracing was off)."""
+        return self.net.fabric.tracer
+
 
 def run_obs(
     topology: str = "fig6",
@@ -56,6 +63,7 @@ def run_obs(
     interval_ns: float = 1_000.0,
     traffic_seed: int = 7,
     profile: bool = True,
+    trace_every: int = 0,
 ) -> ObsResult:
     """Run one fully instrumented open-loop traffic workload.
 
@@ -66,6 +74,10 @@ def run_obs(
     The ITB firmware with the proposed buffer pool runs everywhere so
     in-transit forwarding is observable; host noise is disabled for
     reproducible series.
+
+    ``trace_every`` > 0 attaches a causal span tracer sampling every
+    Nth message (1 = all); per-trace critical-path breakdowns land in
+    the ``latency_breakdown_ns`` histograms.
     """
     config = NetworkConfig(
         firmware="itb",
@@ -87,6 +99,9 @@ def run_obs(
         raise ValueError(f"unknown topology {topology!r}"
                          " (expected 'fig6' or 'random')")
 
+    if trace_every > 0:
+        net.fabric.tracer = SpanTracer(sample_every=trace_every)
+
     telemetry = instrument_network(
         net, sample_interval_ns=interval_ns, profile=profile)
     traffic = drive_traffic(
@@ -105,6 +120,10 @@ def run_obs(
     for sample in traffic.latencies_ns:
         hist.observe(sample)
 
+    tracer = net.fabric.tracer
+    if tracer is not None:
+        observe_breakdowns(breakdown_dump(tracer.spans), telemetry.registry)
+
     return ObsResult(
         net=net,
         telemetry=telemetry,
@@ -118,8 +137,10 @@ def export_all(result: ObsResult, out_dir: Union[str, Path]) -> dict[str, Path]:
 
     Writes ``metrics.prom`` (Prometheus text), ``telemetry.json``
     (metrics + series + profile), ``series.csv`` (long-format sampled
-    series), and ``trace.json`` (chrome trace with counter tracks).
-    Returns ``{kind: path}``.
+    series), and ``trace.json`` (chrome trace with counter tracks and,
+    when spans were collected, async span tracks + flow arrows).  A
+    traced run additionally writes ``spans.json`` (the canonical span
+    dump).  Returns ``{kind: path}``.
     """
     from repro.obs.exporters import series_to_csv
 
@@ -144,7 +165,14 @@ def export_all(result: ObsResult, out_dir: Union[str, Path]) -> dict[str, Path]:
     csv_path.write_text(series_to_csv(series))
     paths["csv"] = csv_path
 
+    tracer = result.tracer
+    spans = tracer.spans if tracer is not None else ()
     if result.net.trace is not None:
         paths["chrome_trace"] = write_chrome_trace(
-            result.net.trace, out_dir / "trace.json", series=series)
+            result.net.trace, out_dir / "trace.json", series=series,
+            spans=spans)
+    if tracer is not None:
+        span_path = out_dir / "spans.json"
+        span_path.write_text(tracer.dump_json())
+        paths["spans"] = span_path
     return paths

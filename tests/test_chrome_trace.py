@@ -3,14 +3,17 @@
 from __future__ import annotations
 
 import json
+from collections import defaultdict
 
 import pytest
 
 from repro.core.builder import build_network
 from repro.core.config import NetworkConfig
 from repro.core.timings import Timings
-from repro.harness.chrome_trace import to_chrome_trace, write_chrome_trace
+from repro.harness.chrome_trace import (spans_to_chrome_trace,
+                                        to_chrome_trace, write_chrome_trace)
 from repro.harness.paths import fig6_paths
+from repro.obs.tracing import SpanTracer
 from repro.sim.trace import Trace
 
 
@@ -80,6 +83,127 @@ class TestConversion:
         events = to_chrome_trace(net.trace, durations=True)
         phases = [e["ph"] for e in events if e.get("id") == tp.pid]
         assert phases.count("b") == phases.count("e") == 1
+
+
+def span_traced_run():
+    """A reliable GM send with the causal span tracer attached."""
+    cfg = NetworkConfig(
+        firmware="itb", routing="updown", reliable=True, trace=True,
+        timings=Timings().with_overrides(host_jitter_sigma_ns=0.0),
+    )
+    net = build_network("fig6", config=cfg)
+    tracer = SpanTracer()
+    net.fabric.tracer = tracer
+    a, b = net.gm("host1"), net.gm("host2")
+    got = []
+
+    def rx():
+        while True:
+            msg = yield b.receive()
+            got.append(msg.tag)
+
+    net.sim.process(rx(), name="rx")
+    a.send(b.host, 512, tag=1)
+    net.sim.run(until=10_000_000)
+    assert got == [1]
+    return net, tracer
+
+
+class TestSpanEvents:
+    """Round-trip invariants of the causal-span export: every async
+    begin has exactly one matching end under the same id, timestamps
+    are monotonic per track, and cross-component hand-offs pair one
+    flow start with one flow finish."""
+
+    def test_async_pairs_matched_by_id(self):
+        _net, tracer = span_traced_run()
+        events = spans_to_chrome_trace(tracer.spans)
+        begins = defaultdict(int)
+        ends = defaultdict(int)
+        for e in events:
+            if e.get("cat") != "span":
+                continue
+            if e["ph"] == "b":
+                begins[e["id"]] += 1
+            elif e["ph"] == "e":
+                ends[e["id"]] += 1
+        assert begins, "no span events exported"
+        assert begins == ends
+        assert all(n == 1 for n in begins.values())
+
+    def test_pair_timestamps_ordered(self):
+        _net, tracer = span_traced_run()
+        events = spans_to_chrome_trace(tracer.spans)
+        by_id = defaultdict(dict)
+        for e in events:
+            if e.get("cat") == "span":
+                by_id[e["id"]][e["ph"]] = e["ts"]
+        for span_id, phases in by_id.items():
+            assert phases["b"] <= phases["e"], span_id
+
+    def test_timestamps_monotonic_per_track(self):
+        """Within one component row, begin events appear in
+        nondecreasing timestamp order (spans are recorded in creation
+        order, which follows simulated time)."""
+        _net, tracer = span_traced_run()
+        events = spans_to_chrome_trace(tracer.spans)
+        per_tid = defaultdict(list)
+        for e in events:
+            if e.get("cat") == "span" and e["ph"] == "b":
+                per_tid[e["tid"]].append(e["ts"])
+        assert per_tid
+        for tid, stamps in per_tid.items():
+            assert stamps == sorted(stamps), tid
+
+    def test_flow_events_pair_across_components(self):
+        _net, tracer = span_traced_run()
+        events = spans_to_chrome_trace(tracer.spans)
+        starts = {e["id"]: e for e in events
+                  if e.get("cat") == "flow" and e["ph"] == "s"}
+        finishes = {e["id"]: e for e in events
+                    if e.get("cat") == "flow" and e["ph"] == "f"}
+        assert starts, "no cross-component hand-offs exported"
+        assert set(starts) == set(finishes)
+        for flow_id, s in starts.items():
+            f = finishes[flow_id]
+            assert s["ts"] == f["ts"]
+            assert s["tid"] != f["tid"]  # genuinely cross-component
+            assert f["bp"] == "e"
+
+    def test_open_spans_skipped(self):
+        tracer = SpanTracer()
+        tracer.begin("message", 0.0)  # never closed
+        assert spans_to_chrome_trace(tracer.spans) == []
+
+    def test_full_export_includes_counters_and_spans(self, tmp_path):
+        """write_chrome_trace merges instant, counter, async-span, and
+        flow events into one loadable document."""
+        from repro.obs.attach import instrument_network
+
+        cfg = NetworkConfig(
+            firmware="itb", routing="updown", reliable=True, trace=True,
+            timings=Timings().with_overrides(host_jitter_sigma_ns=0.0),
+        )
+        net = build_network("fig6", config=cfg)
+        tracer = SpanTracer()
+        net.fabric.tracer = tracer
+        telemetry = instrument_network(net, sample_interval_ns=1_000.0,
+                                       profile=False)
+        a, b = net.gm("host1"), net.gm("host2")
+
+        def rx():
+            yield b.receive()
+
+        net.sim.process(rx(), name="rx")
+        a.send(b.host, 512, tag=1)
+        net.sim.run(until=20_000.0)
+        telemetry.stop()
+        series = telemetry.sampler.all_series()
+        path = write_chrome_trace(net.trace, tmp_path / "trace.json",
+                                  series=series, spans=tracer.spans)
+        blob = json.loads(path.read_text())
+        phases = {e["ph"] for e in blob["traceEvents"]}
+        assert {"i", "C", "b", "e", "s", "f"} <= phases
 
 
 class TestFileOutput:

@@ -1,0 +1,51 @@
+"""Tracer determinism: byte-identical span dumps, serial and parallel.
+
+Span ids are assigned in creation order by a per-fabric tracer, and
+the runner merges per-point results by point index, so a fixed-seed
+experiment must produce *byte-identical* canonical span dumps run
+after run — serially, and fanned out over a fork pool (``--jobs 4``).
+This is the observability analogue of the engine-determinism suite:
+if it holds, a trace captured in CI is reproducible at a desk.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exp import ExperimentSpec, Runner
+from repro.obs.tracing import configure, disable, load_dump, tree_signature
+
+
+@pytest.fixture(autouse=True)
+def traced():
+    configure(sample_every=1)
+    yield
+    disable()
+
+
+def run_dumps(experiment: str, jobs: int) -> list[str]:
+    spec = ExperimentSpec(experiment=experiment, sizes=(16, 256),
+                          iterations=2)
+    report = Runner().run(spec, jobs=jobs)
+    assert report.span_dumps, "traced run produced no span dumps"
+    return report.span_dumps
+
+
+class TestSerialRepeatability:
+    @pytest.mark.parametrize("experiment", ["fig7", "fig8"])
+    def test_back_to_back_runs_identical(self, experiment):
+        assert run_dumps(experiment, jobs=1) == run_dumps(experiment, jobs=1)
+
+
+class TestParallelMergeIdentical:
+    @pytest.mark.parametrize("experiment", ["fig7", "fig8"])
+    def test_jobs4_matches_serial_byte_for_byte(self, experiment):
+        serial = run_dumps(experiment, jobs=1)
+        parallel = run_dumps(experiment, jobs=4)
+        assert serial == parallel
+
+    def test_dumps_are_loadable_and_nonempty(self):
+        for dump in run_dumps("fig7", jobs=4):
+            spans = load_dump(dump)
+            assert spans
+            assert tree_signature(spans)

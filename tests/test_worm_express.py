@@ -26,6 +26,7 @@ from repro.harness.paths import fig6_paths
 from repro.mcp.packet_format import encode_packet
 from repro.network.fabric import Fabric
 from repro.network.worm import Worm
+from repro.obs.tracing import SpanTracer, tree_signature
 from repro.routing.routes import SourceRoute
 from repro.sim.engine import SimulationError, Simulator
 from repro.topology.graph import Topology
@@ -340,6 +341,80 @@ class TestItbCutThrough:
         assert ex_mean == st_mean
         assert ex_stats == st_stats
         assert ex_fabric.express_stats.hits > 0
+
+
+class TestSpanTreeEquivalence:
+    """Both worm lanes must emit *identical* causal span trees: same
+    names, components, statuses, and bit-identical timestamps (the
+    express lane replays the stepped float-addition clock).  Signatures
+    canonicalize away span-id assignment order; the uncontended GM
+    scenario is additionally byte-identical as a dump."""
+
+    def _staggered_traced(self, express: bool, stagger_ns: float):
+        sim, fabric, sw, a, b, c = _single_switch()
+        fabric.express_enabled = express
+        fabric.tracer = SpanTracer()
+        log: list = []
+        obs = LogObserver(log)
+        seg_a = SourceRoute(src=a, dst=c, ports=(2,), switch_path=(sw,))
+        seg_b = SourceRoute(src=b, dst=c, ports=(2,), switch_path=(sw,))
+        _launch_at(sim, fabric, seg_a, b"z" * 500, obs, "A")
+        _launch_at(sim, fabric, seg_b, b"z" * 500, obs, "B", at=stagger_ns)
+        sim.run()
+        return fabric.tracer
+
+    @pytest.mark.parametrize("stagger_ns", [0.0, 10.0, 2_000.0, 10_000.0])
+    def test_contended_wire_spans_identical(self, stagger_ns):
+        ex = self._staggered_traced(True, stagger_ns)
+        st = self._staggered_traced(False, stagger_ns)
+        assert len(ex.spans) == len(st.spans) > 0
+        assert tree_signature(ex.spans) == tree_signature(st.spans)
+
+    def _gated_traced(self, express: bool):
+        sim, fabric, sw, a, b, c = _single_switch()
+        fabric.express_enabled = express
+        fabric.tracer = SpanTracer()
+        log: list = []
+        gate = sim.event("buffer-free")
+        seg_a = SourceRoute(src=a, dst=c, ports=(2,), switch_path=(sw,))
+        _launch_at(sim, fabric, seg_a, b"g" * 64, LogObserver(log, gate), "A")
+        sim.schedule(50_000.0, gate.succeed)
+        sim.run()
+        return fabric.tracer
+
+    def test_gate_stall_spans_identical(self):
+        ex, st = self._gated_traced(True), self._gated_traced(False)
+        assert tree_signature(ex.spans) == tree_signature(st.spans)
+
+    def _gm_itb_traced(self, express: bool) -> SpanTracer:
+        config = NetworkConfig(
+            firmware="itb", routing="updown", reliable=True,
+            timings=Timings().with_overrides(host_jitter_sigma_ns=0.0),
+        )
+        net = build_network("fig6", config=config)
+        net.fabric.express_enabled = express
+        net.fabric.tracer = SpanTracer()
+        paths = fig6_paths(net.topo, net.roles)
+        a, b = net.gm("host1"), net.gm("host2")
+        got = []
+
+        def rx():
+            while True:
+                msg = yield b.receive()
+                got.append(msg.tag)
+
+        net.sim.process(rx(), name="rx")
+        a.send(b.host, 1024, tag=1, route=paths.itb5)
+        net.sim.run(until=10_000_000)
+        assert got == [1]
+        return net.fabric.tracer
+
+    def test_full_gm_itb_chain_byte_identical_dump(self):
+        """The whole GM/ITB stack over both lanes: the canonical span
+        dumps match byte for byte."""
+        ex, st = self._gm_itb_traced(True), self._gm_itb_traced(False)
+        assert len(ex.spans) > 10
+        assert ex.dump_json() == st.dump_json()
 
 
 # ---------------------------------------------------------------------------

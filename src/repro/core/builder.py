@@ -174,7 +174,8 @@ def build_network(
 
     trace = Trace() if config.trace else None
     sim = Simulator(trace=trace)
-    fabric = Fabric(sim, topo, config.timings)
+    fabric = Fabric(sim, topo, config.timings,
+                    lanes=config.lanes, lane_policy=config.lane_policy)
     if tracer_factory is not None:
         fabric.tracer = tracer_factory()
 

@@ -19,10 +19,17 @@ class FirmwareKind(str, Enum):
 
 
 class RoutingKind(str, Enum):
-    """Which routes the mapper stamps."""
+    """Which routes the mapper stamps.
+
+    ``MINIMAL`` stamps unrestricted shortest paths — not deadlock-free
+    by itself on cyclic fabrics; pair it with escape lanes
+    (``lanes >= 2, lane_policy="escape"``) for the virtual-channel
+    alternative the ``vc-study`` experiment measures.
+    """
 
     UPDOWN = "updown"
     ITB = "itb"
+    MINIMAL = "minimal"
 
 
 @dataclass
@@ -50,6 +57,11 @@ class NetworkConfig:
         Master seed for all host-noise RNGs.
     trace:
         Collect a structured event trace (slower; tests use it).
+    lanes / lane_policy:
+        Virtual-channel lanes per link direction and the lane-selection
+        policy (``"fixed"``, ``"roundrobin"``, ``"escape"`` — see
+        :mod:`repro.network.lanes`).  The default single lane is the
+        stock Myrinet switch the paper assumes.
     """
 
     firmware: FirmwareKind = FirmwareKind.ITB
@@ -67,6 +79,8 @@ class NetworkConfig:
     #: cycle counts in :class:`Timings` absorb average contention;
     #: turning it on is the EXP-A4 ablation.
     model_memory_contention: bool = False
+    lanes: int = 1
+    lane_policy: str = "fixed"
 
     def __post_init__(self) -> None:
         self.firmware = FirmwareKind(self.firmware)
@@ -75,4 +89,11 @@ class NetworkConfig:
             raise ValueError(
                 "recv_buffer_kind must be 'fixed' or 'pool',"
                 f" got {self.recv_buffer_kind!r}"
+            )
+        if self.lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {self.lanes}")
+        if self.lane_policy not in ("fixed", "roundrobin", "escape"):
+            raise ValueError(
+                "lane_policy must be 'fixed', 'roundrobin', or"
+                f" 'escape', got {self.lane_policy!r}"
             )

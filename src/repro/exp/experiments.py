@@ -28,6 +28,7 @@ __all__ = [
     "QUICK_SIZES",
     "RootStudyExperiment",
     "ThroughputExperiment",
+    "VcStudyExperiment",
 ]
 
 #: The abbreviated ladder the CLI uses without ``--full``.
@@ -278,6 +279,160 @@ class ThroughputExperiment(Experiment):
         )
         return (f"{table}\n\npeak ratio ITB/UD:"
                 f" {result.throughput_ratio:.2f}x")
+
+
+@register_experiment("vc-study", "EXP-VC ITB vs virtual channels")
+class VcStudyExperiment(Experiment):
+    """ITB vs VC lanes vs both, on latency/throughput/deadlock-freedom.
+
+    The head-to-head the paper motivates but never runs: its Section 1
+    rejects virtual channels as requiring new switch hardware, so ITBs
+    were evaluated only against up*/down*.  Arms and the modelling
+    caveats are documented in :mod:`repro.harness.vcstudy`; the
+    ``minimal`` arm is statically deadlocked on the study topology and
+    therefore contributes a CDG verdict but no traffic run.
+    """
+
+    cli_options = (
+        CliOption.make("--switches", type=int, default=8),
+        CliOption.make("--packet-size", type=int, default=512),
+        CliOption.make("--rates", type=float, nargs="+",
+                       default=[0.04, 0.08, 0.12]),
+        CliOption.make("--duration", type=float, default=150.0,
+                       help="measurement window (us)"),
+        CliOption.make("--hosts-per-switch", type=int, default=2),
+        CliOption.make("--seed", type=int, default=5,
+                       help="topology seed (default deadlocks minimal"
+                            " routing at one lane)"),
+        CliOption.make("--combined-lanes", type=int, default=2,
+                       help="lanes of the itb+vc arm"),
+        CliOption.make("--quick", action="store_true",
+                       help="single rate, short window (CI smoke)"),
+    )
+
+    def default_spec(self) -> ExperimentSpec:
+        return ExperimentSpec(
+            experiment="vc-study", n_switches=8, topo_seed=5,
+            hosts_per_switch=2, packet_size=512,
+            rates=(0.04, 0.08, 0.12),
+            duration_ns=150_000.0, warmup_ns=30_000.0,
+            params={"combined_lanes": 2},
+        )
+
+    def _arms(self, spec: ExperimentSpec):
+        from repro.harness.vcstudy import study_arms, study_topology
+
+        topo = study_topology(spec.n_switches, spec.topo_seed,
+                              spec.hosts_per_switch)
+        return topo, study_arms(
+            topo,
+            combined_lanes=int(spec.params.get("combined_lanes", 2)),
+        )
+
+    def points(self, spec: ExperimentSpec) -> list[dict]:
+        _topo, arms = self._arms(spec)
+        return [
+            {"mechanism": arm.mechanism, "routing": arm.routing,
+             "lanes": arm.lanes, "lane_policy": arm.lane_policy,
+             "rate": rate}
+            for arm in arms if arm.dynamic
+            for rate in spec.rates
+        ]
+
+    def measure(self, spec: ExperimentSpec, point: dict, ctx: Any) -> Any:
+        from repro.harness.vcstudy import measure_vc_point
+
+        sample = measure_vc_point(
+            routing=point["routing"],
+            lanes=point["lanes"],
+            lane_policy=point["lane_policy"],
+            rate=point["rate"],
+            n_switches=spec.n_switches,
+            packet_size=spec.packet_size,
+            duration_ns=spec.duration_ns,
+            warmup_ns=spec.warmup_ns,
+            topo_seed=spec.topo_seed,
+            traffic_seed=spec.traffic_seed,
+            hosts_per_switch=spec.hosts_per_switch,
+            timings=spec.timings,
+            build=ctx.build,
+        )
+        return (point["mechanism"], sample)
+
+    def summarize(self, spec: ExperimentSpec, results: Sequence[Any]) -> Any:
+        from repro.harness.vcstudy import (VcMechanismResult, VcStudyResult,
+                                           analyze_arm)
+
+        topo, arms = self._arms(spec)
+        rows = []
+        for arm in arms:
+            free, required = analyze_arm(topo, arm)
+            rows.append(VcMechanismResult(
+                mechanism=arm.mechanism, routing=arm.routing,
+                lanes=arm.lanes, lane_policy=arm.lane_policy,
+                deadlock_free=free, lanes_required=required,
+                points=[s for mech, s in results
+                        if mech == arm.mechanism],
+            ))
+        return VcStudyResult(
+            n_switches=spec.n_switches,
+            hosts_per_switch=spec.hosts_per_switch,
+            packet_size=spec.packet_size,
+            topo_seed=spec.topo_seed,
+            rows=rows,
+        )
+
+    def route_requirements(
+        self, spec: ExperimentSpec
+    ) -> Iterable[tuple[Topology, str, Optional[int]]]:
+        topo, arms = self._arms(spec)
+        for routing in sorted({arm.routing for arm in arms}):
+            yield (topo, routing, None)
+
+    def spec_from_args(self, args: Any) -> ExperimentSpec:
+        spec = self.default_spec().replace(
+            n_switches=args.switches,
+            packet_size=args.packet_size,
+            rates=tuple(args.rates),
+            duration_ns=args.duration * 1000.0,
+            warmup_ns=args.duration * 200.0,
+            hosts_per_switch=args.hosts_per_switch,
+            topo_seed=args.seed,
+            params={"combined_lanes": args.combined_lanes},
+        )
+        if args.quick:
+            # One saturating rate, short window: every arm is past its
+            # knee, so the ITB+VC ordering survives the abbreviation.
+            spec = spec.replace(rates=(0.12,), duration_ns=60_000.0,
+                                warmup_ns=12_000.0)
+        return spec
+
+    def render(self, spec: ExperimentSpec, result: Any, args: Any) -> str:
+        from repro.harness.report import format_table
+
+        rows = []
+        for r in result.rows:
+            static_only = not r.points
+            rows.append((
+                r.mechanism, r.routing, r.lanes, r.lane_policy,
+                "yes" if r.deadlock_free else "NO",
+                "-" if static_only else f"{r.peak_accepted:.4f}",
+                "-" if static_only
+                else f"{r.best_mean_latency_ns / 1000:.2f}",
+            ))
+        table = format_table(
+            ["mechanism", "routing", "lanes", "policy", "deadlock-free",
+             "peak accepted", "latency (us)"],
+            rows,
+            title=f"EXP-VC — ITB vs virtual channels,"
+                  f" {spec.n_switches} switches",
+        )
+        verdict = ("ITB+VC out-peaks both ITB alone and VC alone"
+                   if result.combined_wins_throughput else
+                   "ITB+VC does not dominate on this configuration")
+        return (f"{table}\n\n{verdict}; VC lanes sized by escape-walk"
+                f" demand ({result.row('vc').lanes} lanes), VC numbers"
+                " are a full-rate-per-lane upper bound")
 
 
 @register_experiment("apps", "EXP-M2 application kernels")

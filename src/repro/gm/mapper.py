@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Mapping, Optional, Union
 
 from repro.nic.lanai import Nic
 from repro.routing.itb import ItbRouter
+from repro.routing.minimal import MinimalRouter
 from repro.routing.routes import ItbRoute, RouteError, SourceRoute
 from repro.routing.spanning_tree import UpDownOrientation, build_orientation
 from repro.routing.tables import build_route_tables
@@ -42,7 +43,9 @@ def run_mapper(
     Parameters
     ----------
     routing:
-        ``"updown"`` (stock mapper) or ``"itb"`` (modified mapper).
+        ``"updown"`` (stock mapper), ``"itb"`` (modified mapper), or
+        ``"minimal"`` (unrestricted shortest paths — only safe with
+        escape lanes or on acyclic fabrics).
     overrides:
         Hand-built routes for specific (src, dst) pairs — the paper's
         evaluation uses carefully constructed paths rather than mapper
@@ -74,6 +77,8 @@ def run_mapper(
         router = UpDownRouter(topo, orientation)
     elif routing == "itb":
         router = ItbRouter(topo, orientation)
+    elif routing == "minimal":
+        router = MinimalRouter(topo, orientation)
     else:
         raise RouteError(f"unknown routing policy {routing!r}")
 

@@ -32,6 +32,7 @@ from repro.harness.fig7 import Fig7Result
 from repro.harness.fig8 import Fig8Result
 from repro.harness.root_study import RootStudyResult
 from repro.harness.throughput import ThroughputResult
+from repro.harness.vcstudy import VcStudyResult
 
 __all__ = ["from_document", "load_results", "save_results", "to_document"]
 
@@ -49,6 +50,7 @@ _RESULT_KINDS: dict[str, type] = {
     "ablation-load": AblationLoadResult,
     "ablation-bufpool": BufferPoolStudyResult,
     "ablation-timing": TimingSweepResult,
+    "vc-study": VcStudyResult,
 }
 
 _KIND_BY_TYPE = {cls: kind for kind, cls in _RESULT_KINDS.items()}

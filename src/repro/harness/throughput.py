@@ -79,6 +79,8 @@ def build_load_network(
     seed: int = 2001,
     pool_bytes: int = 1024 * 1024,
     build: Callable = build_network,
+    lanes: int = 1,
+    lane_policy: str = "fixed",
 ) -> BuiltNetwork:
     """A network configured for load experiments.
 
@@ -86,7 +88,9 @@ def build_load_network(
     the load studies assume ejected packets are always accepted, with
     flush-beyond-saturation), and host-noise is disabled so curves are
     smooth.  ``build`` lets the experiment pipeline inject its cached
-    build path.
+    build path.  ``lanes`` / ``lane_policy`` configure virtual-channel
+    lanes on the fabric (the ``vc-study`` arms); the single-lane
+    default is the paper's stock switch.
     """
     t = (timings or Timings()).with_overrides(host_jitter_sigma_ns=0.0)
     config = NetworkConfig(
@@ -97,6 +101,8 @@ def build_load_network(
         recv_buffer_kind="pool",
         pool_bytes=pool_bytes,
         seed=seed,
+        lanes=lanes,
+        lane_policy=lane_policy,
     )
     return build(topo, config=config)
 

@@ -53,24 +53,29 @@ class DeadlockReport:
 
 
 def _wait_for_edges(net: "BuiltNetwork") -> dict:
-    """worm -> worm edges: A waits on a channel somebody holds."""
+    """worm -> worm edges: A waits on a lane somebody holds.
+
+    Every lane of every channel is inspected — worms on different
+    lanes of one physical link never wait on each other, which is
+    exactly the independence virtual channels buy.
+    """
     edges: dict = {}
     holding = 0
     waiting = 0
     for channel in net.fabric.channels():
-        resource = channel.resource
-        holders = [h for h in resource.holders()
-                   if hasattr(h, "worm_id")]
-        holding += len(holders)
-        if not holders:
-            continue
-        # FIFO waiters on this channel wait for every current holder
-        # (capacity is 1 on fabric channels, so exactly one).
-        waiters = getattr(resource, "_waiters", ())
-        for owner, _ev in list(waiters):
-            if hasattr(owner, "worm_id"):
-                waiting += 1
-                edges.setdefault(owner, set()).update(holders)
+        for resource in channel.lanes:
+            holders = [h for h in resource.holders()
+                       if hasattr(h, "worm_id")]
+            holding += len(holders)
+            if not holders:
+                continue
+            # FIFO waiters on this lane wait for every current holder
+            # (capacity is 1 on fabric lanes, so exactly one).
+            waiters = getattr(resource, "_waiters", ())
+            for owner, _ev in list(waiters):
+                if hasattr(owner, "worm_id"):
+                    waiting += 1
+                    edges.setdefault(owner, set()).update(holders)
     return {"edges": edges, "holding": holding, "waiting": waiting}
 
 

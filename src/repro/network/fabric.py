@@ -1,22 +1,31 @@
-"""Fabric: directed channels and switch port bookkeeping.
+"""Fabric: directed channels, lanes, and switch port bookkeeping.
 
 Every physical cable becomes two :class:`Channel` objects (one per
-direction).  A channel is a FIFO :class:`~repro.sim.resources.Resource`
-of capacity 1 — exactly one wormhole packet may occupy a Myrinet link
-direction at a time (no virtual channels) — plus the physical
-parameters needed to time a traversal.
+direction).  A channel is a *physical link direction* hosting
+``n_lanes`` independently arbitrated lanes — each lane a FIFO
+:class:`~repro.sim.resources.Resource` of capacity 1 (one wormhole
+packet per lane) — plus the physical parameters needed to time a
+traversal.  With the default ``lanes=1`` this degenerates to the
+stock Myrinet link (exactly one packet per link direction, which is
+what the paper's switches implement); configuring more lanes models
+the virtual-channel alternative the paper argues against, with lane
+selection delegated to a pluggable policy
+(:mod:`repro.network.lanes`: fixed, round-robin, or dateline escape
+lanes for deadlock freedom).
 
 Channels are keyed ``(link_id, direction)`` with direction 0 meaning
 "entering at the (node_a, port_a) end", which stays well-defined for
-loopback cables (both ends on one switch).
+loopback cables (both ends on one switch).  Lanes are keyed
+``(link_id, direction, lane)`` — the claim index, the lane-aware CDG
+analysis, and the per-lane meters all use this triple.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Union
 
 from repro.core.timings import Timings
+from repro.network.lanes import LanePolicy, make_lane_policy
 from repro.sim.engine import Simulator
 from repro.sim.resources import Resource
 from repro.topology.graph import Link, PortKind, Topology, TopologyError
@@ -27,22 +36,51 @@ if TYPE_CHECKING:  # pragma: no cover - import-cycle guard
 __all__ = ["Channel", "ExpressStats", "Fabric", "FlightPlan"]
 
 
-@dataclass
 class Channel:
-    """One direction of a physical cable."""
+    """One direction of a physical cable, hosting ``n_lanes`` lanes.
 
-    link: Link
-    direction: int  # 0 = entering at (node_a, port_a), 1 = at (node_b, port_b)
-    from_node: int
-    from_port: int
-    to_node: int
-    to_port: int
-    resource: Resource
-    prop_ns: float
+    ``lanes[0]`` is the default lane; the :attr:`resource` property
+    aliases it so single-lane code (and the instrumentation layer,
+    which swaps a metering proxy in via plain assignment) keeps
+    working unchanged.
+    """
+
+    __slots__ = ("link", "direction", "from_node", "from_port",
+                 "to_node", "to_port", "lanes", "prop_ns")
+
+    def __init__(self, link: Link, direction: int, from_node: int,
+                 from_port: int, to_node: int, to_port: int,
+                 lanes: list[Resource], prop_ns: float) -> None:
+        self.link = link
+        #: 0 = entering at (node_a, port_a), 1 = at (node_b, port_b).
+        self.direction = direction
+        self.from_node = from_node
+        self.from_port = from_port
+        self.to_node = to_node
+        self.to_port = to_port
+        self.lanes = lanes
+        self.prop_ns = prop_ns
+
+    @property
+    def resource(self) -> Resource:
+        """Lane 0 (the whole channel when ``n_lanes == 1``)."""
+        return self.lanes[0]
+
+    @resource.setter
+    def resource(self, value: Resource) -> None:
+        self.lanes[0] = value
+
+    @property
+    def n_lanes(self) -> int:
+        return len(self.lanes)
 
     @property
     def key(self) -> tuple[int, int]:
         return (self.link.link_id, self.direction)
+
+    def lane_key(self, lane: int) -> tuple[int, int, int]:
+        """The ``(link_id, direction, lane)`` key of one lane."""
+        return (self.link.link_id, self.direction, lane)
 
     @property
     def kind(self) -> PortKind:
@@ -92,19 +130,34 @@ class FlightPlan:
     channel keys.  Shared by the stepped and express worm paths, so
     channel lookup and fall-through resolution happen once per
     distinct segment instead of once per hop per packet.
+
+    Lane assignment is *not* part of the plan — it is chosen per
+    launch by the fabric's lane policy.  ``zero_lanes`` and ``keys0``
+    pre-resolve the all-lane-0 case so the single-lane fast path pays
+    no per-launch tuple building.
     """
 
-    __slots__ = ("segment", "channels", "keys", "falls", "n_hops",
-                 "has_duplicate")
+    __slots__ = ("segment", "channels", "keys", "keys0", "zero_lanes",
+                 "falls", "n_hops", "has_duplicate")
 
     def __init__(self, segment: "SourceRoute",
                  channels: tuple[Channel, ...]) -> None:
         self.segment = segment
         self.channels = channels
         self.keys = tuple(ch.key for ch in channels)
+        self.keys0 = tuple(ch.lane_key(0) for ch in channels)
+        self.zero_lanes = (0,) * len(channels)
         self.n_hops = len(channels) - 1
         self.has_duplicate = len(set(self.keys)) != len(self.keys)
         self.falls: tuple[float, ...] = ()  # filled by Fabric.flight_plan
+
+    def lane_keys(self, lanes: tuple[int, ...]) -> tuple:
+        """Per-channel lane keys for one launch's lane assignment."""
+        if lanes is self.zero_lanes:
+            return self.keys0
+        return tuple(
+            (k[0], k[1], lane) for k, lane in zip(self.keys, lanes)
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<FlightPlan {self.segment!r} hops={self.n_hops}>"
@@ -113,10 +166,18 @@ class FlightPlan:
 class Fabric:
     """All channels of a topology plus traversal-timing helpers."""
 
-    def __init__(self, sim: Simulator, topo: Topology, timings: Timings) -> None:
+    def __init__(self, sim: Simulator, topo: Topology, timings: Timings,
+                 lanes: int = 1,
+                 lane_policy: Union[str, LanePolicy] = "fixed") -> None:
+        if lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes}")
         self.sim = sim
         self.topo = topo
         self.timings = timings
+        #: Lanes per channel (uniform across the fabric) and the
+        #: policy assigning a lane per channel at worm launch.
+        self.n_lanes = lanes
+        self.lane_policy = make_lane_policy(lane_policy)
         #: Gate for the worm express lane (equivalence tests and the
         #: flight microbenchmark force the stepped path through this).
         self.express_enabled = True
@@ -126,19 +187,21 @@ class Fabric:
         self._fall_ns: dict[tuple[PortKind, PortKind], float] = dict(
             timings.fall_through_ns)
         self._plans: dict["SourceRoute", FlightPlan] = {}
-        #: Claim index: channel key -> worms whose in-flight segment
-        #: includes that channel (registered at launch, released at
-        #: completion, for stepped and express worms alike).  Express
-        #: eligibility and demotion both consult it.
-        self._claimed_by: dict[tuple[int, int], list] = {}
+        #: Claim index: lane key (link, direction, lane) -> worms whose
+        #: in-flight segment claims that lane (registered at launch,
+        #: released at completion, for stepped and express worms
+        #: alike).  Express eligibility and demotion both consult it;
+        #: worms on different lanes of one channel never conflict.
+        self._claimed_by: dict[tuple[int, int, int], list] = {}
         #: Shared registry for higher layers (e.g. "firmware_by_host",
         #: filled by the network builder so worms can find destination
         #: firmware objects).
         self.meta: dict = {}
         #: Channel keys whose physical cable is currently down (fault
-        #: injection).  Empty on healthy networks — the worm hot paths
-        #: guard every check on the set being non-empty, so the
-        #: fault-free timing is untouched.
+        #: injection) — a dead cable takes every lane with it, so this
+        #: stays channel-keyed.  Empty on healthy networks — the worm
+        #: hot paths guard every check on the set being non-empty, so
+        #: the fault-free timing is untouched.
         self.down_keys: set[tuple[int, int]] = set()
         #: Hook invoked when a worm dies at a down channel (set by the
         #: fault injector to account for the lost packet).
@@ -155,13 +218,17 @@ class Fabric:
             for direction in (0, 1):
                 from_node, from_port = ends[direction]
                 to_node, to_port = ends[1 - direction]
-                res = Resource(
-                    sim, capacity=1,
-                    name=(
-                        f"ch:link{link.link_id}:"
-                        f"{from_node}.{from_port}->{to_node}.{to_port}"
-                    ),
+                base = (
+                    f"ch:link{link.link_id}:"
+                    f"{from_node}.{from_port}->{to_node}.{to_port}"
                 )
+                # Lane 0 keeps the single-lane resource name (event
+                # names derive from it; goldens depend on the bytes).
+                lane_resources = [
+                    Resource(sim, capacity=1,
+                             name=base if lane == 0 else f"{base}:l{lane}")
+                    for lane in range(lanes)
+                ]
                 self._channels[(link.link_id, direction)] = Channel(
                     link=link,
                     direction=direction,
@@ -169,7 +236,7 @@ class Fabric:
                     from_port=from_port,
                     to_node=to_node,
                     to_port=to_port,
-                    resource=res,
+                    lanes=lane_resources,
                     prop_ns=timings.propagation(link.length_m),
                 )
 
@@ -221,9 +288,23 @@ class Fabric:
         return self._fall_ns[in_channel.kind, out_channel.kind]
 
     def utilization_snapshot(self) -> dict[tuple[int, int], int]:
-        """Channels currently held (for contention diagnostics)."""
+        """Held lanes per channel (for contention diagnostics).
+
+        Channel-keyed and lane-summed: with one lane the value is 0/1
+        as before; with N lanes it ranges 0..N.  Use
+        :meth:`lane_utilization_snapshot` for the per-lane view.
+        """
         return {
-            key: ch.resource.in_use for key, ch in self._channels.items()
+            key: sum(res.in_use for res in ch.lanes)
+            for key, ch in self._channels.items()
+        }
+
+    def lane_utilization_snapshot(self) -> dict[tuple[int, int, int], int]:
+        """Per-lane occupancy, keyed ``(link_id, direction, lane)``."""
+        return {
+            ch.lane_key(lane): res.in_use
+            for ch in self._channels.values()
+            for lane, res in enumerate(ch.lanes)
         }
 
     # -- dynamic faults ---------------------------------------------------
@@ -232,21 +313,24 @@ class Fabric:
         """Mark both directions of a cable down; return the claimants.
 
         The returned worms are every in-flight worm whose segment
-        claims either direction of the cable — holders, queued waiters,
-        and approaching heads alike.  Wormhole packets hold their whole
-        path until the tail drains, so a dead link under any part of a
-        claimed segment cuts that packet.  The caller (the fault
-        injector) decides what to do with them (kill + account).
+        claims *any lane* of either direction of the cable — holders,
+        queued waiters, and approaching heads alike.  Wormhole packets
+        hold their whole path until the tail drains, so a dead link
+        under any part of a claimed segment cuts that packet, whatever
+        lane it rides.  The caller (the fault injector) decides what
+        to do with them (kill + account).
         """
         victims: list = []
+        claimed = self._claimed_by
         for direction in (0, 1):
             key = (link_id, direction)
             if key not in self._channels:
                 raise TopologyError(f"no link {link_id} in this fabric")
             self.down_keys.add(key)
-            for worm in self._claimed_by.get(key, ()):
-                if worm not in victims:
-                    victims.append(worm)
+            for lane in range(self.n_lanes):
+                for worm in claimed.get((link_id, direction, lane), ()):
+                    if worm not in victims:
+                        victims.append(worm)
         return victims
 
     def set_link_up(self, link_id: int) -> None:
@@ -258,7 +342,7 @@ class Fabric:
         """True while ``link_id`` is marked down by a fault."""
         return (link_id, 0) in self.down_keys
 
-    # -- worm flight plans and the channel-claim index -------------------
+    # -- worm flight plans and the lane-claim index -----------------------
 
     def flight_plan(self, segment: "SourceRoute") -> FlightPlan:
         """The memoized :class:`FlightPlan` for ``segment``."""
@@ -276,19 +360,30 @@ class Fabric:
             self._plans[segment] = plan
         return plan
 
-    def claim_conflicts(self, plan: FlightPlan, now: float) -> bool:
-        """Process claim conflicts for a worm about to launch on ``plan``.
+    def select_lanes(self, plan: FlightPlan) -> tuple[int, ...]:
+        """One lane per plan channel for a launch (policy-delegated).
 
-        Returns True when any in-flight worm has claimed a channel of
-        ``plan`` (the launcher must then take the stepped path).  Any
-        *express* worm among the claimants is interrupted first —
-        materialized or demoted (see ``Worm._express_interrupted``) —
-        because from this instant a contender can observe, and queue
-        on, its channels.
+        The single-lane fabric returns the plan's cached zero tuple —
+        the identity answer at zero per-launch cost.
+        """
+        if self.n_lanes == 1:
+            return plan.zero_lanes
+        return self.lane_policy.lanes_for(plan, self)
+
+    def claim_conflicts(self, keys: tuple, now: float) -> bool:
+        """Process claim conflicts for a worm about to launch on the
+        lanes keyed by ``keys``.
+
+        Returns True when any in-flight worm has claimed a lane of the
+        launcher's assignment (the launcher must then take the stepped
+        path).  Any *express* worm among the claimants is interrupted
+        first — materialized or demoted (see
+        ``Worm._express_interrupted``) — because from this instant a
+        contender can observe, and queue on, its lanes.
         """
         claimed = self._claimed_by
         conflict = False
-        for key in plan.keys:
+        for key in keys:
             worms = claimed.get(key)
             if worms:
                 conflict = True
@@ -297,16 +392,16 @@ class Fabric:
                         worm._express_interrupted(now)
         return conflict
 
-    def register_claims(self, worm, plan: FlightPlan) -> None:
-        """Record ``worm``'s claim on every channel of its segment."""
+    def register_claims(self, worm, keys: tuple) -> None:
+        """Record ``worm``'s claim on every lane of its assignment."""
         claimed = self._claimed_by
-        for key in plan.keys:
+        for key in keys:
             claimed.setdefault(key, []).append(worm)
 
-    def release_claims(self, worm, plan: FlightPlan) -> None:
+    def release_claims(self, worm, keys: tuple) -> None:
         """Drop ``worm``'s claims (at completion of its segment)."""
         claimed = self._claimed_by
-        for key in plan.keys:
+        for key in keys:
             worms = claimed.get(key)
             if worms is not None:
                 try:

@@ -18,14 +18,14 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import-cycle guard
     from repro.core.builder import BuiltNetwork
-    from repro.network.fabric import Channel
 
 __all__ = ["ChannelUsage", "FabricUsage", "attach_usage_meter"]
 
 
 @dataclass
 class ChannelUsage:
-    """Observed load on one directed channel."""
+    """Observed load on one directed channel (one lane of it when the
+    fabric runs multiple lanes — the key then carries the lane index)."""
 
     key: tuple
     from_node: int
@@ -100,7 +100,11 @@ def attach_usage_meter(net: "BuiltNetwork") -> FabricUsage:
     """Instrument every fabric channel of a built network.
 
     Must be attached before traffic runs.  Only switch-to-switch
-    channels are metered.
+    channels are metered.  On a single-lane fabric meters are keyed
+    by the 2-tuple channel key exactly as before; with virtual-channel
+    lanes configured every lane gets its own meter under its
+    ``(link_id, direction, lane)`` key, so lane imbalance is directly
+    observable.
     """
     usage = FabricUsage(net)
     topo = net.topo
@@ -108,13 +112,16 @@ def attach_usage_meter(net: "BuiltNetwork") -> FabricUsage:
         link = channel.link
         if not (topo.is_switch(link.node_a) and topo.is_switch(link.node_b)):
             continue
-        cu = ChannelUsage(
-            key=channel.key,
-            from_node=channel.from_node,
-            to_node=channel.to_node,
-        )
-        usage.channels[channel.key] = cu
-        _wrap_resource(net, channel, cu)
+        multi = channel.n_lanes > 1
+        for lane in range(channel.n_lanes):
+            cu = ChannelUsage(
+                key=channel.lane_key(lane) if multi else channel.key,
+                from_node=channel.from_node,
+                to_node=channel.to_node,
+            )
+            usage.channels[cu.key] = cu
+            channel.lanes[lane] = _MeteredResource(
+                channel.lanes[lane], cu, net.sim)
     return usage
 
 
@@ -176,8 +183,3 @@ class _MeteredResource:
 
     def __getattr__(self, name):
         return getattr(self._inner, name)
-
-
-def _wrap_resource(net: "BuiltNetwork", channel: "Channel",
-                   cu: ChannelUsage) -> None:
-    channel.resource = _MeteredResource(channel.resource, cu, net.sim)

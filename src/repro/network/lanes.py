@@ -1,0 +1,199 @@
+"""Lane-selection policies for multi-lane (virtual-channel) fabrics.
+
+A :class:`~repro.network.fabric.Channel` hosts ``n_lanes`` independently
+arbitrated FIFO lanes (see the fabric module).  At worm launch the
+fabric asks its lane policy for one lane per channel of the flight
+plan; the assignment is fixed for the whole flight (a wormhole packet
+cannot change lanes mid-route — lane state lives in per-port buffers).
+
+Three policies are provided:
+
+``fixed``
+    Every worm uses the same lane (lane 0 by default).  With
+    ``lanes=1`` this is the single-lane fabric; with more lanes it
+    leaves the extras idle — the control arm of lane studies.
+
+``roundrobin``
+    Per-channel rotating cursor: successive worms crossing the same
+    directed channel get successive lanes.  Balances load across lanes
+    (the fairness property tests pin this down) but gives no deadlock
+    guarantee beyond the underlying routing's.
+
+``escape``
+    Dateline-style assignment for deadlock freedom: the lane index is
+    the number of *descents* — switch-to-switch hops whose channel
+    goes from a higher to a lower (or equal, for loopback cables) node
+    id — taken so far, clamped at the top lane.  Within one lane every
+    dependency edge then targets an ascending channel, so node ids
+    strictly increase along any would-be cycle; crossing a dateline
+    moves to a higher lane and lanes are never re-entered.  The scheme
+    is provably deadlock-free whenever no route descends more often
+    than there are lanes (``lanes_needed`` computes the requirement;
+    :func:`repro.routing.cdg.is_deadlock_free` verifies the combined
+    routing x policy on the laned CDG).  Clamped assignments are
+    counted in :attr:`EscapeLanePolicy.overflows` — a nonzero value
+    means the static guarantee no longer applies.
+
+The walk helpers at the bottom are pure functions of node ids so the
+CDG analysis (:mod:`repro.routing.cdg`) can share the exact assignment
+logic without importing any simulation state.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import-cycle guard
+    from repro.network.fabric import Fabric, FlightPlan
+
+__all__ = [
+    "EscapeLanePolicy",
+    "FixedLanePolicy",
+    "LanePolicy",
+    "RoundRobinLanePolicy",
+    "escape_lane_walk",
+    "lanes_needed",
+    "make_lane_policy",
+]
+
+
+class LanePolicy:
+    """Chooses one lane per channel of a flight plan at worm launch."""
+
+    name = "abstract"
+
+    def lanes_for(self, plan: "FlightPlan", fabric: "Fabric"
+                  ) -> tuple[int, ...]:
+        """Lane index per plan channel (``channels[0]`` is injection)."""
+        raise NotImplementedError
+
+
+class FixedLanePolicy(LanePolicy):
+    """Every worm rides the same lane on every channel."""
+
+    name = "fixed"
+
+    def __init__(self, lane: int = 0) -> None:
+        self.lane = lane
+
+    def lanes_for(self, plan: "FlightPlan", fabric: "Fabric"
+                  ) -> tuple[int, ...]:
+        """The configured lane (clamped to the fabric) for every hop."""
+        lane = min(self.lane, fabric.n_lanes - 1)
+        return (lane,) * len(plan.channels)
+
+
+class RoundRobinLanePolicy(LanePolicy):
+    """Per-channel rotating cursor: launch k on a channel gets lane
+    ``k mod n_lanes``.
+
+    The cursor advances per *launch*, in launch order, so assignments
+    are deterministic for a deterministic simulation.  Host cables
+    (injection/delivery) always use lane 0 — a NIC has one DMA engine
+    per direction, so extra lanes on its cable would model hardware
+    that does not exist.
+    """
+
+    name = "roundrobin"
+
+    def __init__(self) -> None:
+        self._next: dict[tuple[int, int], int] = {}
+
+    def lanes_for(self, plan: "FlightPlan", fabric: "Fabric"
+                  ) -> tuple[int, ...]:
+        """Next cursor lane per switch channel; lane 0 on host cables."""
+        n = fabric.n_lanes
+        topo = fabric.topo
+        cursor = self._next
+        lanes = []
+        for ch in plan.channels:
+            if not (topo.is_switch(ch.from_node)
+                    and topo.is_switch(ch.to_node)):
+                lanes.append(0)
+                continue
+            k = cursor.get(ch.key, 0)
+            cursor[ch.key] = k + 1
+            lanes.append(k % n)
+        return tuple(lanes)
+
+
+class EscapeLanePolicy(LanePolicy):
+    """Dateline assignment: lane = descents taken so far (see module
+    docstring for the deadlock-freedom argument)."""
+
+    name = "escape"
+
+    def __init__(self) -> None:
+        #: Assignments clamped at the top lane — the route needed more
+        #: lanes than the fabric has, voiding the static guarantee.
+        self.overflows = 0
+        self._memo: dict[object, tuple[int, ...]] = {}
+
+    def lanes_for(self, plan: "FlightPlan", fabric: "Fabric"
+                  ) -> tuple[int, ...]:
+        """Dateline walk over the plan (memoized per plan object)."""
+        lanes = self._memo.get(plan)
+        if lanes is None:
+            topo = fabric.topo
+            steps = [
+                (ch.from_node, ch.to_node,
+                 topo.is_switch(ch.from_node) and topo.is_switch(ch.to_node))
+                for ch in plan.channels
+            ]
+            lanes = escape_lane_walk(steps, fabric.n_lanes)
+            if lanes_needed(steps) > fabric.n_lanes:
+                self.overflows += 1
+            self._memo[plan] = lanes
+        return lanes
+
+
+# -- pure walk helpers (shared with repro.routing.cdg) ------------------
+
+
+def escape_lane_walk(
+    steps: Sequence[tuple[int, int, bool]], n_lanes: int
+) -> tuple[int, ...]:
+    """Escape-lane indices for one segment walk.
+
+    ``steps`` is one ``(from_node, to_node, is_switch_to_switch)``
+    triple per channel, injection first.  The lane starts at 0 and
+    increments *at* every switch-to-switch descent (``from >= to``;
+    ``>=`` so loopback cables count as datelines too), clamped at
+    ``n_lanes - 1``.
+    """
+    lane = 0
+    out = []
+    for from_node, to_node, switch_pair in steps:
+        if switch_pair and from_node >= to_node:
+            lane += 1
+        out.append(min(lane, n_lanes - 1))
+    return tuple(out)
+
+
+def lanes_needed(steps: Iterable[tuple[int, int, bool]]) -> int:
+    """Lanes the escape policy needs to cover this walk unclamped."""
+    descents = sum(
+        1 for from_node, to_node, switch_pair in steps
+        if switch_pair and from_node >= to_node
+    )
+    return descents + 1
+
+
+_POLICIES = {
+    "fixed": FixedLanePolicy,
+    "roundrobin": RoundRobinLanePolicy,
+    "escape": EscapeLanePolicy,
+}
+
+
+def make_lane_policy(policy: Union[str, LanePolicy]) -> LanePolicy:
+    """Resolve a policy name (or pass an instance through)."""
+    if isinstance(policy, LanePolicy):
+        return policy
+    try:
+        return _POLICIES[policy]()
+    except KeyError:
+        raise ValueError(
+            f"unknown lane policy {policy!r};"
+            f" choose from {sorted(_POLICIES)}"
+        ) from None

@@ -1,13 +1,17 @@
 """Wormhole packet progression ("worm") through the fabric.
 
 One :class:`Worm` carries one packet image along one source-route
-segment.  The header advances hop by hop, acquiring the next directed
-channel before moving (FIFO arbitration at switch output ports); the
-fall-through latency of each switch depends on the input/output port
-kinds.  Channels are held until the tail drains at the destination —
-the behaviour of Myrinet's Stop&Go flow control, whose slack buffers
-are far smaller than a packet, so a blocked packet effectively holds
-its whole path.
+segment.  The header advances hop by hop, acquiring its assigned
+*lane* of the next directed channel before moving (FIFO arbitration
+at switch output ports, per lane); the fall-through latency of each
+switch depends on the input/output port kinds.  Lanes are held until
+the tail drains at the destination — the behaviour of Myrinet's
+Stop&Go flow control, whose slack buffers are far smaller than a
+packet, so a blocked packet effectively holds its whole path.  On the
+default single-lane fabric the lane assignment is identically zero
+and "lane" reads as "channel"; with virtual-channel lanes configured
+the fabric's lane policy picks one lane per channel at launch, fixed
+for the flight.
 
 The destination NIC is notified twice:
 
@@ -25,8 +29,8 @@ re-injection starts strictly after reception started.
 Express lane
 ------------
 When the whole route is provably uncontended at injection — every
-channel free with an empty queue, and no other in-flight worm's
-segment intersecting it (the fabric's channel-claim index) — the worm
+assigned lane free with an empty queue, and no other in-flight worm's
+lane assignment intersecting it (the fabric's lane-claim index) — the worm
 skips the hop-by-hop generator entirely: the traversal clock is
 replayed in closed form (the exact float-addition sequence the stepped
 path performs) and just two calendar entries are scheduled, header
@@ -126,7 +130,8 @@ class Worm:
     __slots__ = (
         "sim", "fabric", "timings", "segment", "image", "observer", "meta",
         "worm_id", "inject_time", "header_time", "complete_time",
-        "blocked_ns", "_held", "_held_keys", "_plan", "_claimed",
+        "blocked_ns", "_held", "_held_keys", "_plan", "_lanes",
+        "_lane_keys", "_claimed",
         "_express_token", "_express_live", "_express_materialized",
         "_acq", "_image_out", "_early", "_remaining",
         "_killed", "_active_proc", "_span", "_hop_times",
@@ -157,9 +162,14 @@ class Worm:
         self.header_time: Optional[float] = None
         self.complete_time: Optional[float] = None
         self.blocked_ns: float = 0.0
-        self._held: list[Channel] = []
-        self._held_keys: set[tuple[int, int]] = set()
+        #: Lane resources held (grant order) and their lane keys.
+        self._held: list = []
+        self._held_keys: set[tuple[int, int, int]] = set()
         self._plan: Optional[FlightPlan] = None
+        #: Per-channel lane assignment and lane keys, chosen by the
+        #: fabric's lane policy at launch and fixed for the flight.
+        self._lanes: tuple[int, ...] = ()
+        self._lane_keys: tuple = ()
         self._claimed = False
         # Express-lane state.  ``_express_live`` marks a flight whose
         # channels are held only virtually; bumping ``_express_token``
@@ -229,7 +239,10 @@ class Worm:
 
         plan = fabric.flight_plan(seg)
         self._plan = plan
-        # One route decode per segment, shared by both lanes: the
+        lanes = fabric.select_lanes(plan)
+        self._lanes = lanes
+        self._lane_keys = plan.lane_keys(lanes)
+        # One route decode per segment, shared by both paths: the
         # switches' route-byte stripping validated and applied in a
         # single cursor advance.
         self._image_out = self.image.consume_route_bytes(seg.ports)
@@ -243,9 +256,9 @@ class Worm:
 
         # Interrupt intersecting express flights *before* looking at
         # channel state (their holds must be observable from here on),
-        # then claim our own segment.
-        conflict = fabric.claim_conflicts(plan, sim.now)
-        fabric.register_claims(self, plan)
+        # then claim our own lane assignment.
+        conflict = fabric.claim_conflicts(self._lane_keys, sim.now)
+        fabric.register_claims(self, self._lane_keys)
         self._claimed = True
 
         if (
@@ -311,9 +324,18 @@ class Worm:
         if not hops and self._acq:
             now = self.sim.now
             hops = [(a, a) for a in self._acq if a <= now]
-        for i, (t_req, t_acq) in enumerate(hops):
-            tracer.begin(f"hop{i}", t_req, parent=span,
-                         component=span.component).close(t_acq)
+        if self.fabric.n_lanes > 1:
+            # Lane occupancy rides on the hop spans; omitted entirely
+            # on single-lane fabrics so their dumps stay byte-stable.
+            lanes = self._lanes
+            for i, (t_req, t_acq) in enumerate(hops):
+                tracer.begin(f"hop{i}", t_req, parent=span,
+                             component=span.component,
+                             lane=lanes[i]).close(t_acq)
+        else:
+            for i, (t_req, t_acq) in enumerate(hops):
+                tracer.begin(f"hop{i}", t_req, parent=span,
+                             component=span.component).close(t_acq)
         if self.header_time is not None:
             span.attrs["header"] = self.header_time
         span.attrs["blocked_ns"] = self.blocked_ns
@@ -340,8 +362,8 @@ class Worm:
             # A dead cable on the route: take the stepped path so the
             # head is lost at the down channel with exact timing.
             return False
-        for ch in plan.channels:
-            res = ch.resource
+        for ch, lane in zip(plan.channels, self._lanes):
+            res = ch.lanes[lane]
             if not res.free or res.queue_length:
                 return False
         return True
@@ -449,12 +471,13 @@ class Worm:
         if self._express_materialized or self._held:
             self._release_all()
             return
-        # Fully virtual flight: nothing ever queued on these channels
+        # Fully virtual flight: nothing ever queued on these lanes
         # (any contender would have materialised them), so only the
         # channel-utilisation meters need the hold recorded.
         acq = self._acq
+        lanes = self._lanes
         for i, ch in enumerate(self._plan.channels):
-            record = getattr(ch.resource, "record_hold", None)
+            record = getattr(ch.lanes[lanes[i]], "record_hold", None)
             if record is not None:
                 record(acq[i], self.complete_time)
         self._release_claims()
@@ -472,20 +495,21 @@ class Worm:
         """
         plan, acq = self._plan, self._acq
         chans = plan.channels
+        lanes, keys = self._lanes, self._lane_keys
         j = len(acq)
         for i, at in enumerate(acq):
             if at > t1:
                 j = i
                 break
         for i in range(j):
-            res = chans[i].resource
+            res = chans[i].lanes[lanes[i]]
             ok = res.try_acquire(owner=self)
-            assert ok, "express-held channel was not free at interrupt"
+            assert ok, "express-held lane was not free at interrupt"
             note = getattr(res, "note_acquired_at", None)
             if note is not None:
                 note(self, acq[i])
-            self._held.append(chans[i])
-            self._held_keys.add(chans[i].key)
+            self._held.append(res)
+            self._held_keys.add(keys[i])
         if self._hop_times is not None:
             # Materialised holds were uncontended, so request == grant
             # at the closed-form acquire instants — exactly what the
@@ -536,7 +560,7 @@ class Worm:
         plan = self._plan
         out = plan.channels[hop + 1]
         block_start = sim.now
-        yield from self._acquire(out)
+        yield from self._acquire(out, hop + 1)
         self.blocked_ns += sim.now - block_start
         if self._hop_times is not None:
             self._hop_times.append((block_start, sim.now))
@@ -548,7 +572,7 @@ class Worm:
             if delay > 0.0:
                 yield Timeout(delay)
             block_start = sim.now
-            yield from self._acquire(out)
+            yield from self._acquire(out, h + 1)
             self.blocked_ns += sim.now - block_start
             if self._hop_times is not None:
                 self._hop_times.append((block_start, sim.now))
@@ -569,7 +593,7 @@ class Worm:
         # DMA only starts when the wire is free (Stop&Go at the source).
         out = plan.channels[0]
         block_start = sim.now
-        yield from self._acquire(out)
+        yield from self._acquire(out, 0)
         if self._hop_times is not None:
             self._hop_times.append((block_start, sim.now))
         # Leading byte reaches the first switch after propagation + one
@@ -584,7 +608,7 @@ class Worm:
             if delay > 0.0:
                 yield Timeout(delay)
             block_start = sim.now
-            yield from self._acquire(out)
+            yield from self._acquire(out, h + 1)
             self.blocked_ns += sim.now - block_start
             if self._hop_times is not None:
                 self._hop_times.append((block_start, sim.now))
@@ -633,12 +657,13 @@ class Worm:
 
     # ------------------------------------------------------------------
 
-    def _acquire(self, channel: Channel):
-        if channel.key in self._held_keys:
-            # A wormhole packet that routes back onto a directed
-            # channel it still occupies waits for itself forever —
-            # this deadlocks on real hardware too.  Fail loudly so
-            # hand-built test routes get a diagnosis, not a hang.
+    def _acquire(self, channel: Channel, index: int):
+        key = self._lane_keys[index]
+        if key in self._held_keys:
+            # A wormhole packet that routes back onto a lane it still
+            # occupies waits for itself forever — this deadlocks on
+            # real hardware too.  Fail loudly so hand-built test
+            # routes get a diagnosis, not a hang.
             raise RuntimeError(
                 f"worm {self.worm_id} re-enters channel {channel!r} it"
                 " already holds (self-deadlocking route)"
@@ -648,10 +673,11 @@ class Worm:
             # The output port feeding this cable is dead: the head
             # cannot advance and the packet is lost on the wire.
             raise _LinkDown(channel)
-        req = channel.resource.request(owner=self)
+        res = channel.lanes[self._lanes[index]]
+        req = res.request(owner=self)
         yield req
-        self._held.append(channel)
-        self._held_keys.add(channel.key)
+        self._held.append(res)
+        self._held_keys.add(key)
 
     def _abort(self) -> None:
         """Fault teardown: cancel queued requests, settle stray grants,
@@ -664,10 +690,11 @@ class Worm:
         """
         plan = self._plan
         if plan is not None:
-            for ch in plan.channels:
-                if ch.key in self._held_keys:
+            lanes, keys = self._lanes, self._lane_keys
+            for i, ch in enumerate(plan.channels):
+                if keys[i] in self._held_keys:
                     continue
-                res = ch.resource
+                res = ch.lanes[lanes[i]]
                 if not res.cancel(self) and self in res.holders():
                     res.release(owner=self)
         self._release_all()
@@ -679,15 +706,15 @@ class Worm:
             hook(self)
 
     def _release_all(self) -> None:
-        for ch in self._held:
-            ch.resource.release(owner=self)
+        for res in self._held:
+            res.release(owner=self)
         self._held.clear()
         self._held_keys.clear()
         self._release_claims()
 
     def _release_claims(self) -> None:
         if self._claimed:
-            self.fabric.release_claims(self, self._plan)
+            self.fabric.release_claims(self, self._lane_keys)
             self._claimed = False
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

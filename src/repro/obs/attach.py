@@ -189,9 +189,10 @@ def _attach_fabric(registry: MetricsRegistry,
                    usage: FabricUsage) -> None:
     for cu in usage.channels.values():
         comp = f"channel[{cu.from_node}->{cu.to_node}]"
-        # Parallel cables share endpoints: the (link, direction) key
-        # goes in its own label so every channel stays distinct.
-        link = {"link": f"{cu.key[0]}:{cu.key[1]}"}
+        # Parallel cables share endpoints: the (link, direction) key —
+        # extended with a lane index on multi-lane fabrics — goes in
+        # its own label so every metered resource stays distinct.
+        link = {"link": ":".join(str(part) for part in cu.key)}
         registry.counter(
             "fabric_channel_packets_total", component=comp,
             help="packets granted this switch-to-switch channel",
@@ -225,6 +226,28 @@ def _attach_fabric(registry: MetricsRegistry,
     )
 
 
+def _attach_lanes(registry: MetricsRegistry, fabric) -> None:
+    """Per-lane occupancy gauges (multi-lane fabrics only).
+
+    One gauge per lane index: the count of channels whose lane-``i``
+    resource is currently held somewhere in the fabric.  Skipped
+    entirely at ``n_lanes == 1`` so single-lane snapshots (and the
+    goldens built on them) are unchanged.
+    """
+    def occupied(f, lane):
+        return sum(
+            1 for (_l, _d, ln), busy in f.lane_utilization_snapshot().items()
+            if ln == lane and busy
+        )
+    for lane in range(fabric.n_lanes):
+        registry.gauge(
+            "fabric_lane_occupancy", component="fabric",
+            help="channels whose resource on this lane is currently held",
+            fn=lambda f=fabric, ln=lane: occupied(f, ln),
+            labels={"lane": str(lane)},
+        )
+
+
 def instrument_network(
     net: "BuiltNetwork",
     registry: Optional[MetricsRegistry] = None,
@@ -247,6 +270,8 @@ def instrument_network(
         _attach_nic(registry, nic)
     _attach_express(registry, net.fabric)
     _attach_faults(registry, net.fabric)
+    if net.fabric.n_lanes > 1:
+        _attach_lanes(registry, net.fabric)
     usage: Optional[FabricUsage] = None
     if fabric_usage:
         usage = attach_usage_meter(net)

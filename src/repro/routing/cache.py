@@ -29,6 +29,7 @@ import threading
 from typing import Optional
 
 from repro.routing.itb import ItbRouter
+from repro.routing.minimal import MinimalRouter
 from repro.routing.routes import ItbRoute, RouteError
 from repro.routing.spanning_tree import UpDownOrientation, build_orientation
 from repro.routing.tables import RouteTable
@@ -58,6 +59,7 @@ def topology_signature(topo: Topology) -> str:
 _ROUTERS = {
     "updown": UpDownRouter,
     "itb": ItbRouter,
+    "minimal": MinimalRouter,
 }
 
 

@@ -11,6 +11,27 @@ the first channel of the next.
 This module builds the CDG for a set of routes (plain or ITB) and
 checks acyclicity — used by tests to prove both that up*/down* and ITB
 routings are deadlock-free and that *unsplit* minimal routing is not.
+
+Virtual-channel lanes
+---------------------
+With ``n_lanes > 1`` the analysis operates on *lane* nodes
+``(link_id, direction, lane)`` — the resource a worm actually blocks
+on in a multi-lane fabric (:mod:`repro.network.fabric`).  The lane a
+segment uses at each hop depends on the fabric's lane policy:
+
+* ``"escape"`` assigns lanes by the dateline walk shared with
+  :class:`repro.network.lanes.EscapeLanePolicy`, so the laned CDG here
+  verifies exactly the assignment the simulator will use.  The walk
+  is deterministic per segment, so acyclicity of this graph *is* the
+  deadlock-freedom proof (provided no route needs more lanes than
+  configured — check :func:`lanes_required`).
+* ``"fixed"`` and ``"roundrobin"`` pick one lane per channel per
+  launch.  Any such static-per-flight assignment is deadlock-free iff
+  the *collapsed* channel-level CDG is acyclic: a cycle among lane
+  nodes projects onto a closed walk among channel nodes (consecutive
+  route channels are always distinct links), which an acyclic channel
+  graph cannot contain.  These policies therefore verify on the
+  ``n_lanes == 1`` graph.
 """
 
 from __future__ import annotations
@@ -26,6 +47,7 @@ __all__ = [
     "channel_dependency_graph",
     "find_dependency_cycle",
     "is_deadlock_free",
+    "lanes_required",
 ]
 
 Channel = tuple[int, int]  # (link_id, direction): direction 0 = a->b end
@@ -52,25 +74,72 @@ def _segment_channels(topo: Topology, seg: SourceRoute) -> list[Channel]:
     return channels
 
 
+def _segment_steps(topo: Topology,
+                   seg: SourceRoute) -> list[tuple[int, int, bool]]:
+    """Per-channel ``(from_node, to_node, is_switch_to_switch)`` walk,
+    aligned with :func:`_segment_channels` — the input the escape-lane
+    dateline walk needs (kept identical to the fabric's plan endpoints
+    so static analysis and runtime assign the same lanes)."""
+    steps: list[tuple[int, int, bool]] = [
+        (seg.src, seg.switch_path[0], False)
+    ]
+    current = seg.switch_path[0]
+    for port in seg.ports:
+        link = topo.link_at(current, port)
+        far, _far_port = link.far_end(current, port)
+        steps.append((current, far,
+                      topo.is_switch(current) and topo.is_switch(far)))
+        current = far
+    return steps
+
+
 def iter_segments(route: RouteLike) -> Iterable[SourceRoute]:
     if isinstance(route, ItbRoute):
         return route.segments
     return (route,)
 
 
+def lanes_required(topo: Topology, routes: Iterable[RouteLike]) -> int:
+    """Lanes the escape policy needs so no segment's walk is clamped.
+
+    1 means every segment is descent-free; the ``vc-study`` experiment
+    sizes its VC fabric with this so the static guarantee holds.
+    """
+    # Imported here (not at module top) to break the import cycle
+    # routing -> network -> worm -> mcp -> routing.
+    from repro.network.lanes import lanes_needed
+    needed = 1
+    for route in routes:
+        for seg in iter_segments(route):
+            needed = max(needed, lanes_needed(_segment_steps(topo, seg)))
+    return needed
+
+
 def channel_dependency_graph(
-    topo: Topology, routes: Iterable[RouteLike]
+    topo: Topology, routes: Iterable[RouteLike],
+    n_lanes: int = 1, lane_policy: str = "fixed",
 ) -> "nx.DiGraph":
-    """Build the CDG: nodes are channels, edges are held-while-requesting
-    pairs within a single segment.
+    """Build the CDG: nodes are channels (lanes when ``n_lanes > 1``
+    under the escape policy), edges are held-while-requesting pairs
+    within a single segment.
 
     Segment boundaries (in-transit hosts) contribute **no** edge — the
     formal statement of the ITB mechanism's deadlock-freedom argument.
+    Fixed and round-robin lane policies verify on the collapsed
+    channel-level graph (see the module docstring for why that is
+    sound for any per-launch static assignment).
     """
+    laned = n_lanes > 1 and lane_policy == "escape"
+    if laned:
+        from repro.network.lanes import escape_lane_walk
     g = nx.DiGraph()
     for route in routes:
         for seg in iter_segments(route):
-            chans = _segment_channels(topo, seg)
+            chans: list = _segment_channels(topo, seg)
+            if laned:
+                lanes = escape_lane_walk(_segment_steps(topo, seg), n_lanes)
+                chans = [(link, direction, lane) for (link, direction), lane
+                         in zip(chans, lanes)]
             for ch in chans:
                 g.add_node(ch)
             for a, b in zip(chans, chans[1:]):
@@ -79,10 +148,12 @@ def channel_dependency_graph(
 
 
 def find_dependency_cycle(
-    topo: Topology, routes: Iterable[RouteLike]
+    topo: Topology, routes: Iterable[RouteLike],
+    n_lanes: int = 1, lane_policy: str = "fixed",
 ) -> Optional[list[Channel]]:
     """Return one dependency cycle, or None when the CDG is acyclic."""
-    g = channel_dependency_graph(topo, routes)
+    g = channel_dependency_graph(topo, routes, n_lanes=n_lanes,
+                                 lane_policy=lane_policy)
     try:
         cycle_edges = nx.find_cycle(g, orientation="original")
     except nx.NetworkXNoCycle:
@@ -90,6 +161,16 @@ def find_dependency_cycle(
     return [edge[0] for edge in cycle_edges]
 
 
-def is_deadlock_free(topo: Topology, routes: Iterable[RouteLike]) -> bool:
-    """True iff the channel dependency graph of ``routes`` is acyclic."""
-    return find_dependency_cycle(topo, routes) is None
+def is_deadlock_free(
+    topo: Topology, routes: Iterable[RouteLike],
+    n_lanes: int = 1, lane_policy: str = "fixed",
+) -> bool:
+    """True iff the (lane-aware) channel dependency graph is acyclic.
+
+    For the escape policy the answer is only a guarantee when
+    ``lanes_required(topo, routes) <= n_lanes`` — a clamped walk
+    leaves the dateline scheme, and this function checks the clamped
+    assignment that would actually run.
+    """
+    return find_dependency_cycle(topo, routes, n_lanes=n_lanes,
+                                 lane_policy=lane_policy) is None

@@ -10,7 +10,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterator, Optional
 
-from repro.routing.routes import RouteError, SourceRoute
+from repro.routing.routes import ItbRoute, RouteError, SourceRoute
 from repro.topology.graph import Topology
 
 __all__ = ["MinimalRouter", "all_shortest_switch_paths"]
@@ -96,8 +96,15 @@ class MinimalRouter:
 
     name = "minimal"
 
-    def __init__(self, topo: Topology) -> None:
+    def __init__(self, topo: Topology, orientation=None) -> None:
+        # ``orientation`` is accepted (and ignored) so the router slots
+        # into the mapper/route-cache interface shared with the up*/down*
+        # and ITB routers; minimal routing needs no spanning tree.
         self.topo = topo
+
+    def itb_route(self, src_host: int, dst_host: int) -> ItbRoute:
+        """Single-segment wrapper matching the ITB router interface."""
+        return ItbRoute((self.route(src_host, dst_host),))
 
     def switch_route(self, src_switch: int, dst_switch: int) -> list[int]:
         """Lexicographically-first shortest switch path."""

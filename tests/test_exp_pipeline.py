@@ -26,7 +26,7 @@ class TestRegistry:
         names = {exp.name for exp in list_experiments()}
         assert {"fig7", "fig8", "throughput", "apps", "root-study",
                 "ablation-load", "ablation-bufpool",
-                "ablation-timing"} <= names
+                "ablation-timing", "vc-study"} <= names
 
     def test_unknown_name_lists_registered(self):
         with pytest.raises(KeyError, match="fig7"):

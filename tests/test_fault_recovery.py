@@ -123,8 +123,9 @@ class TestLinkDownMidWorm:
             assert t < 1_000_000, "worm never reached the fabric"
             for link_id in inter:
                 for d in (0, 1):
-                    if net.fabric._claimed_by.get((link_id, d)):
-                        held = link_id
+                    for lane in range(net.fabric.n_lanes):
+                        if net.fabric._claimed_by.get((link_id, d, lane)):
+                            held = link_id
         injector._apply(FaultEvent(kind="link-down", target=held,
                                    at_ns=net.sim.now,
                                    repair_ns=300_000.0))

@@ -295,3 +295,103 @@ def test_bench_end_to_end_pingpong(benchmark):
 
     mean = benchmark(run)
     assert mean > 0
+
+
+# -- partitioned engine and claim horizon -----------------------------------
+
+_STORM_POINT = dict(
+    n_switches=16, n_parts=4, hosts_per_switch=3, packet_size=1024,
+    rate=0.25, duration_ns=300_000.0, cross_fraction=0.15,
+    trunk_length_m=400.0, seed=7,
+)
+
+
+def _storm(jobs: int):
+    from repro.harness.storm import run_storm
+
+    return run_storm(**_STORM_POINT, engine_jobs=jobs)
+
+
+def test_bench_partition_speedup(benchmark, bench_headline):
+    """The partitioned-core guard: a 16-switch storm split into 4
+    partitions must run at least 1.8x faster wall-clock with 4 worker
+    processes than inline — with byte-identical summaries (the
+    determinism contract holds at every worker count).
+
+    The wall-clock gate needs real parallel hardware; on fewer than 4
+    usable cores the determinism half still runs and the ratio is
+    recorded, but the floor assertion is skipped (a time-sliced
+    single-core box measures scheduler overhead, not the engine).
+    """
+    import os
+
+    import pytest
+
+    cores = len(os.sched_getaffinity(0))
+
+    serial = benchmark(lambda: _storm(1))
+    forked = _storm(4)
+    assert forked.execution["mode"] == "forked"
+    assert serial.summary() == forked.summary()
+
+    inline_s = _best_of(lambda: _storm(1), repeats=2)
+    forked_s = _best_of(lambda: _storm(4), repeats=2)
+    ratio = inline_s / forked_s
+    bench_headline["inline_s"] = round(inline_s, 6)
+    bench_headline["forked_s"] = round(forked_s, 6)
+    bench_headline["cores"] = cores
+    bench_headline["windows"] = serial.engine["windows"]
+    if cores < 4:
+        # A time-sliced ratio is not the number the baseline floors;
+        # record it under a different key and flag the skipped gate so
+        # ``repro bench-report --baseline`` waives this test.
+        bench_headline["measured_ratio"] = round(ratio, 3)
+        bench_headline["gate_skipped"] = f"needs >= 4 cores, have {cores}"
+        pytest.skip(f"wall-clock gate needs >= 4 cores, have {cores}"
+                    f" (measured {ratio:.2f}x; determinism verified)")
+    bench_headline["speedup_ratio"] = round(ratio, 3)
+    assert ratio >= 1.8, (
+        f"partitioned engine only {ratio:.2f}x over inline at 4 workers"
+        f" (inline {inline_s * 1e3:.0f} ms, forked {forked_s * 1e3:.0f} ms)"
+    )
+
+
+def _horizon_run(horizon: bool):
+    """Loaded irregular-fabric traffic run; returns (express stats,
+    delivered packets)."""
+    from repro.harness.throughput import build_load_network
+    from repro.harness.workloads import drive_traffic
+    from repro.topology.generators import random_irregular
+
+    topo = random_irregular(12, seed=5, hosts_per_switch=2)
+    net = build_load_network(topo, "updown", seed=11)
+    net.fabric.express_horizon = horizon
+    stats = drive_traffic(net, 0.08, 1024, 150_000.0, seed=7)
+    return net.fabric.express_stats, stats.delivered_packets
+
+
+def test_bench_express_horizon(benchmark, bench_headline):
+    """The claim-horizon guard: under loaded contended traffic the
+    express hit rate with partial (claim-horizon) flights must be at
+    least double the bail-on-any-conflict baseline, with identical
+    delivered-packet counts (the lanes stay observationally
+    equivalent).  ``speedup_ratio`` here is the hit-rate ratio."""
+    base_stats, base_delivered = benchmark(lambda: _horizon_run(False))
+    horizon_stats, horizon_delivered = _horizon_run(True)
+    assert horizon_delivered == base_delivered
+
+    def rate(s) -> float:
+        return s.hits / max(1, s.hits + s.fallbacks)
+
+    base_rate = rate(base_stats)
+    horizon_rate = rate(horizon_stats)
+    ratio = horizon_rate / max(base_rate, 1e-9)
+    bench_headline["speedup_ratio"] = round(ratio, 3)
+    bench_headline["base_hit_rate"] = round(base_rate, 4)
+    bench_headline["horizon_hit_rate"] = round(horizon_rate, 4)
+    bench_headline["partial_flights"] = horizon_stats.partial
+    assert horizon_stats.partial > 0
+    assert ratio >= 2.0, (
+        f"claim horizon lifts the loaded hit rate only {ratio:.2f}x"
+        f" (base {base_rate:.1%}, horizon {horizon_rate:.1%})"
+    )

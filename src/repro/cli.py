@@ -73,6 +73,13 @@ def _make_experiment_command(exp: Experiment):
         from repro.exp import Runner
 
         spec = exp.spec_from_args(args)
+        if args.engine_jobs != 1:
+            # Partition-aware experiments read this through
+            # ctx.engine_jobs; everything else ignores it.  Results
+            # are independent of the value by the determinism
+            # contract (docs/PARALLEL.md).
+            spec = spec.replace(
+                params={**spec.params, "engine_jobs": args.engine_jobs})
         report = Runner().run(spec, jobs=args.jobs,
                               save=args.save or None)
         print(exp.render(spec, report.result, args))
@@ -80,8 +87,9 @@ def _make_experiment_command(exp: Experiment):
         total = express.get("hits", 0) + express.get("fallbacks", 0)
         if total:
             pct = 100.0 * express["hits"] / total
+            partial = express.get("partial", 0)
             print(f"express worms: {express['hits']}/{total}"
-                  f" ({pct:.1f}% hit rate,"
+                  f" ({pct:.1f}% hit rate, {partial} partial,"
                   f" {express['stepped_hops']} stepped hops)")
         if report.saved_to:
             print(f"saved to {report.saved_to}")
@@ -99,6 +107,10 @@ def _add_experiment_arguments(p: argparse.ArgumentParser,
     p.add_argument("--jobs", type=_positive_int, default=1,
                    help="process-pool width for independent points"
                         " (results are identical to --jobs 1)")
+    p.add_argument("--engine-jobs", type=_positive_int, default=1,
+                   help="worker processes of the partitioned simulation"
+                        " engine, for partition-aware experiments"
+                        " (results are identical to --engine-jobs 1)")
     p.add_argument("--save", type=str, default="",
                    help="persist the result document to this JSON file")
     p.set_defaults(func=_make_experiment_command(exp))
@@ -361,10 +373,13 @@ def _cmd_bench_report(args) -> int:
 
     rows = []
     ratios: dict[str, dict[str, float]] = {}
+    skipped: dict[str, dict[str, str]] = {}
     for path in files:
         doc = json.loads(path.read_text())
         group = doc.get("group", path.stem.removeprefix("BENCH_"))
         for test, rec in sorted(doc.get("records", {}).items()):
+            if rec.get("gate_skipped"):
+                skipped.setdefault(group, {})[test] = rec["gate_skipped"]
             mean = rec.get("mean_s")
             ratio = rec.get("speedup_ratio")
             rows.append((
@@ -388,6 +403,11 @@ def _cmd_bench_report(args) -> int:
         for test, expected in tests.items():
             floor = expected * (1.0 - args.tolerance)
             measured = ratios.get(group, {}).get(test)
+            reason = skipped.get(group, {}).get(test)
+            if measured is None and reason is not None:
+                print(f"bench-report: {group}:{test} gate skipped"
+                      f" ({reason})")
+                continue
             if measured is None:
                 failures.append(f"{group}:{test}: no measured speedup ratio")
             elif measured < floor:

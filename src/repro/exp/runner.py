@@ -55,6 +55,16 @@ class PointContext:
         self._instrumented: list = []
         self._fabrics: list = []
 
+    @property
+    def engine_jobs(self) -> int:
+        """Worker count for the partitioned simulation engine.
+
+        Threaded from ``--engine-jobs`` via ``spec.params``; results
+        never depend on it (``docs/PARALLEL.md``), so only
+        partition-aware experiments bother reading it.
+        """
+        return int(self.spec.params.get("engine_jobs", 1))
+
     def build(self, topo: Any = None, **kwargs: Any) -> BuiltNetwork:
         """Build a network for this point through the single shared path."""
         if topo is None:
@@ -65,16 +75,17 @@ class PointContext:
         if self.spec.observe:
             from repro.obs.attach import instrument_network
 
-            telemetry = instrument_network(net, fabric_usage=False)
+            telemetry = instrument_network(net, fabric_usage=False,
+                                           route_cache=self.cache)
             self._instrumented.append(telemetry)
         return net
 
     def express_summary(self) -> dict:
         """Worm express-lane counters summed over this point's builds."""
-        totals = {"hits": 0, "fallbacks": 0, "stepped_hops": 0}
+        totals: dict[str, int] = {}
         for fabric in self._fabrics:
             for key, value in fabric.express_stats.as_dict().items():
-                totals[key] += value
+                totals[key] = totals.get(key, 0) + value
         return totals
 
     def span_dumps(self) -> list[str]:
@@ -197,7 +208,8 @@ class Runner:
         observations = [obs for _i, _value, obs, _ex, _sp in outcomes]
         span_dumps = [d for _i, _v, _obs, _ex, dumps in outcomes
                       for d in dumps]
-        express = {"hits": 0, "fallbacks": 0, "stepped_hops": 0}
+        express = {"hits": 0, "partial": 0, "fallbacks": 0,
+                   "stepped_hops": 0}
         for _i, _value, _obs, ex, _sp in outcomes:
             for key, v in ex.items():
                 express[key] = express.get(key, 0) + v

@@ -1,0 +1,302 @@
+"""Partitioned packet storm: the parallel-engine workload.
+
+The partitioned engine (:mod:`repro.sim.partition`) earns its keep on
+exactly one shape of problem: a fabric big enough that one calendar is
+the bottleneck, cut at links whose wire latency is long relative to
+the event density behind them.  This harness builds that shape — a
+chain of switch groups joined by long trunk cables — runs an open-loop
+storm on every host, and reports per-partition delivery stats that are
+**identical for every worker count** (the determinism contract of
+``docs/PARALLEL.md``).
+
+Traffic is two-tier:
+
+* *intra-partition* packets pick a uniform random other host of the
+  same partition and ride the normal wormhole fabric;
+* *cross-partition* packets (a configurable fraction) terminate at the
+  local **gateway host** of a cut link, cross the boundary as an
+  engine message delayed by the trunk's wire latency, and re-inject
+  from the remote gateway toward their final destination — the
+  store-and-forward pattern the paper's in-transit buffers implement
+  at a host in the middle of a route, applied at partition boundaries.
+
+Cross traffic targets *adjacent* partitions only (one boundary per
+packet), which keeps every packet's path inside exactly two calendars
+and the accounting partition-local.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.builder import build_network
+from repro.core.timings import Timings
+from repro.harness.throughput import build_load_network
+from repro.sim.partition import Partition, PartitionedEngine
+from repro.topology.graph import PortKind, Topology
+from repro.topology.partition import PartitionPlan, partition_topology
+
+__all__ = ["StormResult", "run_storm", "storm_topology"]
+
+
+def storm_topology(
+    n_switches: int,
+    hosts_per_switch: int = 2,
+    trunk_length_m: float = 200.0,
+    kind: PortKind = PortKind.SAN,
+) -> Topology:
+    """A switch chain with long trunks — the partitionable fabric.
+
+    Inter-switch cables are ``trunk_length_m`` long (200 m of copper
+    is ~860 ns of propagation — the engine lookahead when a trunk is
+    cut), host cables the stock 3 m.
+    """
+    ports = max(8, hosts_per_switch + 2)
+    topo = Topology(name=f"storm-{n_switches}")
+    switches = [topo.add_switch(n_ports=ports) for _ in range(n_switches)]
+    for a, b in zip(switches, switches[1:]):
+        topo.connect(a, topo.free_port(a), b, topo.free_port(b),
+                     kind=kind, length_m=trunk_length_m)
+    for sw in switches:
+        for _ in range(hosts_per_switch):
+            topo.attach_host(sw, topo.free_port(sw), kind=kind)
+    topo.validate()
+    return topo
+
+
+@dataclass
+class StormResult:
+    """One storm run: per-partition stats plus engine telemetry."""
+
+    n_switches: int
+    n_parts: int
+    packet_size: int
+    duration_ns: float
+    #: One dict per partition: offered/delivered/cross counters and
+    #: summed latency — every field deterministic.
+    per_partition: list[dict] = field(default_factory=list)
+    #: Deterministic engine counters (windows/messages/dropped).
+    engine: dict = field(default_factory=dict)
+    #: Engine execution metadata (mode/workers/stall) — wall-clock
+    #: telemetry, excluded from :meth:`summary`.
+    execution: dict = field(default_factory=dict)
+
+    def total(self, key: str) -> int:
+        """Sum one per-partition counter (``offered``, ``delivered``,
+        ``cross_sent``, ...) over every partition."""
+        return sum(int(p[key]) for p in self.per_partition)
+
+    @property
+    def mean_latency_ns(self) -> float:
+        n = self.total("delivered") + self.total("cross_delivered")
+        if n == 0:
+            return 0.0
+        return self.total("latency_sum_ns") / n
+
+    def summary(self) -> dict:
+        """The deterministic result document (identical for all
+        worker counts — what the parallel-smoke CI job diffs)."""
+        return {
+            "n_switches": self.n_switches,
+            "n_parts": self.n_parts,
+            "packet_size": self.packet_size,
+            "duration_ns": self.duration_ns,
+            "offered": self.total("offered"),
+            "delivered": self.total("delivered"),
+            "cross_sent": self.total("cross_sent"),
+            "cross_delivered": self.total("cross_delivered"),
+            "mean_latency_ns": round(self.mean_latency_ns, 6),
+            "per_partition": self.per_partition,
+            "engine": self.engine,
+        }
+
+
+def _wire_storm_partition(
+    part: Partition,
+    net,
+    plan: PartitionPlan,
+    timings: Timings,
+    stats: dict,
+    rate: float,
+    packet_size: int,
+    cross_fraction: float,
+    duration_ns: float,
+    seed: int,
+) -> None:
+    """Attach injectors, gateway forwarding, and ports to one partition."""
+    from repro.sim.engine import Timeout
+
+    index = part.index
+    sub = plan.subs[index]
+    to_global = plan.to_global[index]
+    # Real (non-gateway) hosts, local and global ids in lockstep.
+    local_hosts = sorted(h for h in sub.hosts() if h in to_global)
+    # Cut links touching this partition, ascending link id: the
+    # cross-traffic fan-out targets.
+    cuts = []
+    for link in plan.cut_links:
+        (na, _pa), (nb, _pb) = link.endpoints()
+        pa, pb = plan.part_of[na], plan.part_of[nb]
+        if index == pa:
+            cuts.append((link, pb))
+        elif index == pb:
+            cuts.append((link, pa))
+    # Real hosts of each adjacent partition, by global id.
+    peer_hosts = {
+        peer: sorted(g for g, p in plan.part_of.items()
+                     if p == peer and plan.topo.is_host(g))
+        for _link, peer in cuts
+    }
+    sim = net.sim
+
+    def count_delivered(t0: float, key: str) -> Callable:
+        def on_final(tp) -> None:
+            if tp.dropped:
+                stats["dropped"] += 1
+                return
+            stats[key] += 1
+            stats["latency_sum_ns"] += sim.now - t0
+        return on_final
+
+    def reinject(payload) -> None:
+        """Remote side of a cut: gateway re-injects toward the dst."""
+        dst_global, link_id, t0 = payload
+        gw = plan.gateways[(index, link_id)]
+        stats["cross_received"] += 1
+        net.nics[gw].firmware.host_send(
+            dst=plan.to_local[index][dst_global],
+            payload_len=packet_size,
+            gm={"kind": "data", "last": True},
+            on_delivered=count_delivered(t0, "cross_delivered"),
+        )
+
+    part.on_message("inject", reinject)
+
+    def gateway_handoff(link, peer, t0: float) -> Callable:
+        """Local side: worm reached the gateway, cross the boundary."""
+        latency = timings.propagation(link.length_m)
+
+        def on_gateway(tp) -> None:
+            if tp.dropped:
+                stats["dropped"] += 1
+                return
+            dst_global = tp.gw_dst_global
+            part.send(peer, "inject", (dst_global, link.link_id, t0),
+                      delay=latency)
+            stats["cross_sent"] += 1
+        return on_gateway
+
+    mean_gap = packet_size / rate
+
+    def injector(local_host: int, global_host: int):
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=seed, spawn_key=(global_host,)))
+        nic = net.nics[local_host]
+        while True:
+            yield Timeout(float(rng.exponential(mean_gap)))
+            if sim.now >= duration_ns:
+                return
+            stats["offered"] += 1
+            t0 = sim.now
+            if cuts and rng.random() < cross_fraction:
+                link, peer = cuts[int(rng.integers(len(cuts)))]
+                remotes = peer_hosts[peer]
+                dst_global = remotes[int(rng.integers(len(remotes)))]
+                gw = plan.gateways[(index, link.link_id)]
+                on_delivered = gateway_handoff(link, peer, t0)
+                nic.firmware.host_send(
+                    dst=gw, payload_len=packet_size,
+                    gm={"kind": "data", "last": True},
+                    on_delivered=_with_dst(on_delivered, dst_global),
+                )
+            else:
+                others = [h for h in local_hosts if h != local_host]
+                if not others:
+                    continue
+                dst = others[int(rng.integers(len(others)))]
+                nic.firmware.host_send(
+                    dst=dst, payload_len=packet_size,
+                    gm={"kind": "data", "last": True},
+                    on_delivered=count_delivered(t0, "delivered"),
+                )
+
+    for local in local_hosts:
+        sim.process(injector(local, to_global[local]),
+                    name=f"storm[{to_global[local]}]")
+
+
+def _with_dst(on_gateway: Callable, dst_global: int) -> Callable:
+    """Tag the transit packet with its final (global) destination."""
+    def wrapped(tp) -> None:
+        tp.gw_dst_global = dst_global
+        on_gateway(tp)
+    return wrapped
+
+
+def run_storm(
+    n_switches: int = 8,
+    n_parts: int = 4,
+    hosts_per_switch: int = 2,
+    packet_size: int = 1024,
+    rate: float = 0.05,
+    duration_ns: float = 100_000.0,
+    cross_fraction: float = 0.25,
+    trunk_length_m: float = 200.0,
+    seed: int = 7,
+    build_seed: int = 2001,
+    routing: str = "updown",
+    engine_jobs: int = 1,
+    timings: Optional[Timings] = None,
+    build: Callable = build_network,
+) -> StormResult:
+    """Run one partitioned storm; results independent of ``engine_jobs``.
+
+    ``engine_jobs`` only sets the worker-process count of the
+    partitioned engine — the partition plan, every seed, and the
+    barrier schedule are functions of the other arguments alone.
+    """
+    topo = storm_topology(n_switches, hosts_per_switch=hosts_per_switch,
+                          trunk_length_m=trunk_length_m)
+    plan = partition_topology(topo, n_parts)
+    t = (timings or Timings()).with_overrides(host_jitter_sigma_ns=0.0)
+    if plan.cut_links:
+        lookahead = t.propagation(plan.min_cut_length_m)
+    else:  # single partition: any positive bound works, windows are moot
+        lookahead = t.propagation(trunk_length_m)
+
+    parts: list[Partition] = []
+    for p in range(plan.n_parts):
+        net = build_load_network(plan.subs[p], routing, timings=t,
+                                 seed=build_seed, build=build)
+        stats = {"offered": 0, "delivered": 0, "dropped": 0,
+                 "cross_sent": 0, "cross_received": 0,
+                 "cross_delivered": 0, "latency_sum_ns": 0.0}
+        part = Partition(p, net.sim,
+                         finalize=(lambda s=stats: dict(s)))
+        _wire_storm_partition(
+            part, net, plan, t, stats,
+            rate=rate, packet_size=packet_size,
+            cross_fraction=cross_fraction, duration_ns=duration_ns,
+            seed=seed)
+        parts.append(part)
+
+    engine = PartitionedEngine(parts, lookahead=lookahead,
+                               jobs=engine_jobs)
+    # Drain past the injection stop so in-flight worms and boundary
+    # crossings settle: one trunk crossing plus fabric residence is
+    # well under 16 lookaheads on every storm configuration.
+    per_partition = engine.run(until=duration_ns + 16.0 * lookahead)
+    return StormResult(
+        n_switches=n_switches,
+        n_parts=plan.n_parts,
+        packet_size=packet_size,
+        duration_ns=duration_ns,
+        per_partition=per_partition,
+        engine={key: engine.stats[key]
+                for key in ("windows", "messages", "dropped")},
+        execution={key: engine.stats[key]
+                   for key in ("mode", "workers", "stall_s")},
+    )

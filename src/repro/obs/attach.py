@@ -21,13 +21,19 @@ Metric catalog (see ``docs/OBSERVABILITY.md`` for details):
   switch-to-switch channel,
 * ``fabric_{jain_fairness,max_utilization,root_concentration}`` —
   the balance summary statistics of the instrumentation module,
-* ``worm_express_hits`` / ``worm_express_fallbacks`` /
-  ``worm_stepped_hops`` — worm express-lane counters (see
-  ``docs/ENGINE_FASTPATH.md``),
+* ``worm_express_hits`` / ``worm_express_partial`` /
+  ``worm_express_fallbacks`` / ``worm_stepped_hops`` — worm
+  express-lane counters (see ``docs/ENGINE_FASTPATH.md``),
 * ``gm_retransmits`` / ``gm_timeouts`` / ``gm_dropped`` / ... — per
   host GM reliability counters (see ``docs/RELIABILITY.md``),
 * ``faults_injected`` / ``remap_events`` / ``fault_*`` — fault-plan
-  counters, zero (and filtered from snapshots) without a plan.
+  counters, zero (and filtered from snapshots) without a plan,
+* ``route_cache_{hits,misses,evictions}`` / ``route_cache_entries`` —
+  shared route-cache behaviour (attached when a cache is passed),
+* ``partition_{windows,messages,dropped}`` /
+  ``partition_sync_stall_seconds`` — partitioned-engine barrier
+  telemetry (:func:`attach_partition_engine`, see
+  ``docs/PARALLEL.md``).
 """
 
 from __future__ import annotations
@@ -45,7 +51,8 @@ from repro.obs.sampler import Sampler
 if TYPE_CHECKING:  # pragma: no cover - import-cycle guard
     from repro.core.builder import BuiltNetwork
 
-__all__ = ["Telemetry", "instrument_network"]
+__all__ = ["Telemetry", "attach_partition_engine", "attach_route_cache",
+           "instrument_network"]
 
 #: Help strings for the NicStats-backed counters.
 _NIC_STAT_HELP = {
@@ -174,6 +181,12 @@ def _attach_express(registry: MetricsRegistry, fabric) -> None:
         fn=lambda s=stats: s.hits,
     )
     registry.counter(
+        "worm_express_partial", component="fabric",
+        help="express launches on a truncated claim horizon"
+             " (prefix closed-form, suffix stepped)",
+        fn=lambda s=stats: s.partial,
+    )
+    registry.counter(
         "worm_express_fallbacks", component="fabric",
         help="worm launches that took the stepped generator",
         fn=lambda s=stats: s.fallbacks,
@@ -182,6 +195,68 @@ def _attach_express(registry: MetricsRegistry, fabric) -> None:
         "worm_stepped_hops", component="fabric",
         help="switch hops traversed hop-by-hop (fallbacks + demotions)",
         fn=lambda s=stats: s.stepped_hops,
+    )
+
+
+def attach_route_cache(registry: MetricsRegistry, cache) -> None:
+    """Publish a :class:`~repro.routing.cache.RouteCache`'s counters.
+
+    Hits/misses/evictions are shared-memory totals (accurate across
+    forked workers); ``route_cache_entries`` is this process's
+    resident entry count — together they show whether the LRU bound
+    is churning routes that points will recompute.
+    """
+    registry.counter(
+        "route_cache_hits", component="route-cache",
+        help="route lookups served from the shared cache",
+        fn=lambda c=cache: c.hits,
+    )
+    registry.counter(
+        "route_cache_misses", component="route-cache",
+        help="route lookups that computed all-pairs routes",
+        fn=lambda c=cache: c.misses,
+    )
+    registry.counter(
+        "route_cache_evictions", component="route-cache",
+        help="cache entries dropped by the LRU memory bound",
+        fn=lambda c=cache: c.evictions,
+    )
+    registry.gauge(
+        "route_cache_entries", component="route-cache",
+        help="distinct route entries resident in this process",
+        fn=lambda c=cache: len(c),
+    )
+
+
+def attach_partition_engine(registry: MetricsRegistry, engine) -> None:
+    """Publish a :class:`~repro.sim.partition.PartitionedEngine`'s
+    barrier telemetry.
+
+    Windows/messages/dropped are deterministic (identical for every
+    executor and worker count); the sync-stall gauge is wall-clock
+    time the coordinator spent blocked on worker barriers — the
+    parallel-efficiency signal, never part of a result document.
+    """
+    stats = engine.stats
+    registry.counter(
+        "partition_windows", component="partition-engine",
+        help="conservative time windows executed (barrier rounds)",
+        fn=lambda s=stats: s["windows"],
+    )
+    registry.counter(
+        "partition_messages", component="partition-engine",
+        help="cross-partition messages merged and delivered",
+        fn=lambda s=stats: s["messages"],
+    )
+    registry.counter(
+        "partition_dropped", component="partition-engine",
+        help="cross-partition messages past the run horizon (undelivered)",
+        fn=lambda s=stats: s["dropped"],
+    )
+    registry.gauge(
+        "partition_sync_stall_seconds", component="partition-engine",
+        help="wall-clock time the coordinator blocked on worker barriers",
+        fn=lambda s=stats: s["stall_s"],
     )
 
 
@@ -254,6 +329,7 @@ def instrument_network(
     sample_interval_ns: Optional[float] = None,
     profile: bool = False,
     fabric_usage: bool = True,
+    route_cache=None,
 ) -> Telemetry:
     """Attach the unified telemetry stack to a built network.
 
@@ -270,6 +346,8 @@ def instrument_network(
         _attach_nic(registry, nic)
     _attach_express(registry, net.fabric)
     _attach_faults(registry, net.fabric)
+    if route_cache is not None:
+        attach_route_cache(registry, route_cache)
     if net.fabric.n_lanes > 1:
         _attach_lanes(registry, net.fabric)
     usage: Optional[FabricUsage] = None

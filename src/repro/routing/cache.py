@@ -26,6 +26,7 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import threading
+from collections import OrderedDict
 from typing import Optional
 
 from repro.routing.itb import ItbRouter
@@ -70,15 +71,36 @@ class RouteCache:
     so forked worker processes report into the same totals.  The entry
     dict itself is per-process: the runner warms it in the parent, and
     forked children inherit the warmed entries copy-on-write.
+
+    Memory is bounded: the cache holds at most ``max_entries`` entries
+    in LRU order (lookups refresh recency, insertion past the bound
+    evicts the least recently used entry and bumps the shared
+    ``evictions`` counter).  All-pairs route dicts on large fabrics
+    are the biggest objects the harness retains, so a long-lived
+    process sweeping many topologies (fault campaigns, root studies,
+    partition plans — each sub-topology is its own entry) would
+    otherwise grow without limit.  ``max_entries=None`` disables the
+    bound.
     """
 
-    def __init__(self) -> None:
-        self._entries: dict[tuple[str, str, Optional[int]],
-                            tuple[UpDownOrientation,
-                                  dict[tuple[int, int], ItbRoute]]] = {}
+    #: Default bound — far above any single experiment's working set
+    #: (a full sweep touches a handful of (topology, routing, root)
+    #: combos), so eviction only triggers on topology-churning runs.
+    DEFAULT_MAX_ENTRIES = 128
+
+    def __init__(self, max_entries: Optional[int] = DEFAULT_MAX_ENTRIES
+                 ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple[str, str, Optional[int]],
+                                   tuple[UpDownOrientation,
+                                         dict[tuple[int, int], ItbRoute]]] \
+            = OrderedDict()
         self._lock = threading.Lock()
         self._hits = multiprocessing.Value("q", 0)
         self._misses = multiprocessing.Value("q", 0)
+        self._evictions = multiprocessing.Value("q", 0)
 
     # -- stats -------------------------------------------------------------
 
@@ -92,17 +114,22 @@ class RouteCache:
         """Lookups that had to compute routes (all processes)."""
         return int(self._misses.value)
 
+    @property
+    def evictions(self) -> int:
+        """Entries dropped by the LRU bound (all processes)."""
+        return int(self._evictions.value)
+
     def stats(self) -> dict:
         """Counters plus the number of distinct entries in *this* process."""
         return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions,
                 "entries": len(self._entries)}
 
     def reset_stats(self) -> None:
-        """Zero the shared hit/miss counters (entries stay cached)."""
-        with self._hits.get_lock():
-            self._hits.value = 0
-        with self._misses.get_lock():
-            self._misses.value = 0
+        """Zero the shared counters (entries stay cached)."""
+        for counter in (self._hits, self._misses, self._evictions):
+            with counter.get_lock():
+                counter.value = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -130,6 +157,8 @@ class RouteCache:
         key = self.key_for(topo, routing, root)
         with self._lock:
             entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
         if entry is not None:
             with self._hits.get_lock():
                 self._hits.value += 1
@@ -145,6 +174,15 @@ class RouteCache:
         }
         with self._lock:
             self._entries.setdefault(key, (orientation, pairs))
+            self._entries.move_to_end(key)
+            evicted = 0
+            while (self.max_entries is not None
+                   and len(self._entries) > self.max_entries):
+                self._entries.popitem(last=False)
+                evicted += 1
+        if evicted:
+            with self._evictions.get_lock():
+                self._evictions.value += evicted
         return orientation, pairs
 
     def tables_for(

@@ -1,0 +1,353 @@
+"""Conservative space-partitioned parallel simulation core.
+
+The single-process engine (:mod:`repro.sim.engine`) drains one
+calendar; this module coordinates *K* independent calendars — one per
+fabric partition — under the classic conservative (Chandy-Misra style)
+time-window protocol:
+
+* Each :class:`Partition` owns a :class:`~repro.sim.engine.Simulator`
+  and a set of named message ports.  Cross-partition interactions go
+  exclusively through :meth:`Partition.send`, which stamps the message
+  with a delivery time at least ``lookahead`` in the future —
+  the cut-link wire latency, the physical guarantee that nothing can
+  cross a partition boundary faster.
+* The :class:`PartitionedEngine` runs a barrier loop: with ``T`` the
+  earliest pending event anywhere, every partition drains its calendar
+  strictly below ``T + lookahead`` (``Simulator.run_window``), then
+  the collected messages are merged in deterministic
+  ``(time, priority, src_partition, seq)`` order and scheduled into
+  the destination calendars with ``schedule_at``.  Any message sent
+  inside a window lands at or after the window's end, so a delivery
+  can never be scheduled below an already-dispatched callback — the
+  merged per-partition event stream keeps the engine's exact
+  ``(time, priority, seq)`` order.
+* Executors: *inline* (partitions drained sequentially in index order
+  — the deterministic reference, and what ``jobs=1`` runs) and
+  *forked* (partitions spread over ``jobs`` worker processes via the
+  same fork-and-pipe machinery the experiment runner's point fan-out
+  uses; the built models are inherited copy-on-write, only window
+  commands and port messages cross the pipes).  Both executors issue
+  the identical window/delivery sequence, so results are independent
+  of the worker count — the determinism contract
+  (``docs/PARALLEL.md``) and ``tests/test_partition.py`` pin this.
+
+The port payloads must be picklable for the forked executor (plain
+tuples of numbers/strings are the intended currency); handlers run
+partition-side and may close over arbitrary local state.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time as _time
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Simulator
+
+__all__ = ["Partition", "PartitionError", "PartitionedEngine"]
+
+
+class PartitionError(RuntimeError):
+    """Raised for partition-protocol misuse (bad delay, unknown port)."""
+
+
+#: Message tuple layout: (time, priority, src_partition, seq, dst
+#: partition, port, payload).  Sorting the first four fields is the
+#: deterministic global merge order.
+_TIME, _PRIO, _SRC, _SEQ, _DST, _PORT, _PAYLOAD = range(7)
+
+
+class Partition:
+    """One partition: a simulator, its ports, and its outbox.
+
+    ``index`` must equal the partition's position in the engine's
+    partition list.  ``finalize`` (optional) is called once after the
+    run and must return a *picklable* result — in forked mode it runs
+    inside the worker process and the value crosses the pipe.
+    """
+
+    def __init__(self, index: int, sim: Simulator,
+                 finalize: Optional[Callable[[], Any]] = None) -> None:
+        self.index = index
+        self.sim = sim
+        self.finalize = finalize
+        #: Set by the engine at construction; :meth:`send` enforces it.
+        self.lookahead: float = 0.0
+        self._handlers: dict[str, Callable[[Any], None]] = {}
+        self._outbox: list[tuple] = []
+        self._seq = 0
+
+    def on_message(self, port: str,
+                   handler: Callable[[Any], None]) -> None:
+        """Register the handler invoked for deliveries to ``port``."""
+        self._handlers[port] = handler
+
+    def send(self, dst: int, port: str, payload: Any,
+             delay: Optional[float] = None) -> None:
+        """Queue a cross-partition message for the barrier merge.
+
+        Delivered into partition ``dst`` at ``sim.now + delay``;
+        ``delay`` defaults to (and may never undercut) the engine's
+        lookahead — that bound is what makes the window protocol safe.
+        """
+        lookahead = self.lookahead
+        if delay is None:
+            delay = lookahead
+        elif delay < lookahead:
+            raise PartitionError(
+                f"cross-partition delay {delay} undercuts the lookahead"
+                f" {lookahead}"
+            )
+        self._seq += 1
+        self._outbox.append(
+            (self.sim.now + delay, 0, self.index, self._seq,
+             dst, port, payload))
+
+    def deliver(self, time: float, priority: int, port: str,
+                payload: Any) -> None:
+        """Schedule one merged message into this partition's calendar."""
+        try:
+            handler = self._handlers[port]
+        except KeyError:
+            raise PartitionError(
+                f"partition {self.index} has no port {port!r}"
+            ) from None
+        self.sim.schedule_at(time, lambda: handler(payload), priority)
+
+    def drain_outbox(self) -> list[tuple]:
+        """Hand the engine every message queued since the last drain
+        (in send order) and reset the outbox."""
+        out = self._outbox
+        self._outbox = []
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Partition {self.index} t={self.sim.now:.1f}ns"
+                f" ports={sorted(self._handlers)}>")
+
+
+class PartitionedEngine:
+    """Barrier-synchronized execution of K partition calendars."""
+
+    def __init__(self, partitions: list[Partition], lookahead: float,
+                 jobs: int = 1) -> None:
+        if not partitions:
+            raise PartitionError("need at least one partition")
+        if lookahead <= 0.0:
+            raise PartitionError(
+                f"lookahead must be positive, got {lookahead}")
+        for i, part in enumerate(partitions):
+            if part.index != i:
+                raise PartitionError(
+                    f"partition at position {i} carries index {part.index}")
+            part.lookahead = lookahead
+        self.partitions = partitions
+        self.lookahead = lookahead
+        self.jobs = max(1, jobs)
+        #: windows/messages/dropped are deterministic (identical for
+        #: every executor and worker count); stall_s is wall-clock
+        #: parent time blocked on worker barriers — telemetry only,
+        #: never part of a persisted summary.
+        self.stats: dict[str, Any] = {
+            "windows": 0, "messages": 0, "dropped": 0,
+            "stall_s": 0.0, "mode": "inline", "workers": 1,
+        }
+
+    # -- public API -----------------------------------------------------
+
+    def run(self, until: float) -> list[Any]:
+        """Run every partition to ``until``; return finalize results.
+
+        Events strictly below ``until`` run under the window protocol;
+        the final barrier then lets each partition settle events at
+        exactly ``until`` (matching ``Simulator.run(until)``'s
+        inclusive bound) and advances every clock to ``until``.
+        Messages whose delivery time falls past ``until`` are counted
+        in ``stats['dropped']``.
+        """
+        use_fork = (
+            self.jobs > 1
+            and len(self.partitions) > 1
+            and "fork" in multiprocessing.get_all_start_methods()
+        )
+        if use_fork:
+            return self._run_forked(until)
+        return self._run_inline(until)
+
+    # -- inline executor ------------------------------------------------
+
+    def _run_inline(self, until: float) -> list[Any]:
+        parts = self.partitions
+        stats = self.stats
+        stats["mode"] = "inline"
+        stats["workers"] = 1
+        while True:
+            t_next = None
+            for part in parts:
+                nt = part.sim.next_time()
+                if nt is not None and (t_next is None or nt < t_next):
+                    t_next = nt
+            if t_next is None or t_next >= until:
+                break
+            t_end = min(t_next + self.lookahead, until)
+            messages: list[tuple] = []
+            for part in parts:
+                part.sim.run_window(t_end)
+                messages.extend(part.drain_outbox())
+            self._deliver(messages, until)
+            stats["windows"] += 1
+        return self._finish_inline(until)
+
+    def _deliver(self, messages: list[tuple], until: float) -> None:
+        """Merge-deliver one window's messages (deterministic order)."""
+        messages.sort(key=lambda m: m[:_DST])
+        parts = self.partitions
+        stats = self.stats
+        for msg in messages:
+            if msg[_TIME] > until:
+                stats["dropped"] += 1
+                continue
+            parts[msg[_DST]].deliver(
+                msg[_TIME], msg[_PRIO], msg[_PORT], msg[_PAYLOAD])
+            stats["messages"] += 1
+
+    def _finish_inline(self, until: float) -> list[Any]:
+        results = []
+        stats = self.stats
+        for part in self.partitions:
+            part.sim.run(until=until)
+            stats["dropped"] += len(part.drain_outbox())
+            results.append(
+                part.finalize() if part.finalize is not None else None)
+        return results
+
+    # -- forked executor ------------------------------------------------
+
+    def _run_forked(self, until: float) -> list[Any]:
+        parts = self.partitions
+        stats = self.stats
+        n_workers = min(self.jobs, len(parts))
+        stats["mode"] = "forked"
+        stats["workers"] = n_workers
+        groups = [list(range(w, len(parts), n_workers))
+                  for w in range(n_workers)]
+        owner = {idx: w for w, group in enumerate(groups) for idx in group}
+
+        ctx = multiprocessing.get_context("fork")
+        conns, procs = [], []
+        try:
+            for group in groups:
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, parts, group),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                conns.append(parent_conn)
+                procs.append(proc)
+
+            # The parent still holds the pre-fork calendars, so the
+            # first window bound needs no probe round.
+            next_times = [p.sim.next_time() for p in parts]
+            worker_next = [
+                min((next_times[i] for i in group
+                     if next_times[i] is not None), default=None)
+                for group in groups
+            ]
+            pending: list[tuple] = []
+            while True:
+                t_next = min(
+                    (t for t in worker_next if t is not None),
+                    default=None)
+                for msg in pending:
+                    if t_next is None or msg[_TIME] < t_next:
+                        t_next = msg[_TIME]
+                if t_next is None or t_next >= until:
+                    break
+                t_end = min(t_next + self.lookahead, until)
+                pending.sort(key=lambda m: m[:_DST])
+                deliveries: list[list[tuple]] = [[] for _ in groups]
+                for msg in pending:
+                    if msg[_TIME] > until:
+                        stats["dropped"] += 1
+                        continue
+                    deliveries[owner[msg[_DST]]].append(msg)
+                    stats["messages"] += 1
+                pending = []
+                for conn, batch in zip(conns, deliveries):
+                    conn.send(("window", t_end, batch))
+                t0 = _time.perf_counter()
+                for w, conn in enumerate(conns):
+                    tag, nt, outs = conn.recv()
+                    assert tag == "done"
+                    worker_next[w] = nt
+                    pending.extend(outs)
+                stats["stall_s"] += _time.perf_counter() - t0
+                stats["windows"] += 1
+
+            stats["dropped"] += len(pending)
+            results: list[Any] = [None] * len(parts)
+            for conn in conns:
+                conn.send(("finish", until))
+            t0 = _time.perf_counter()
+            for conn in conns:
+                tag, worker_results, dropped = conn.recv()
+                assert tag == "result"
+                for idx, value in worker_results.items():
+                    results[idx] = value
+                stats["dropped"] += dropped
+            stats["stall_s"] += _time.perf_counter() - t0
+            return results
+        finally:
+            for conn in conns:
+                conn.close()
+            for proc in procs:
+                proc.join(timeout=30)
+                if proc.is_alive():  # pragma: no cover - defensive
+                    proc.terminate()
+                    proc.join()
+
+
+def _worker_main(conn, partitions: list[Partition],
+                 group: list[int]) -> None:
+    """Forked worker: drive ``group``'s partitions window by window.
+
+    The partition objects (and everything they close over) arrived via
+    fork inheritance; only commands, port messages, and finalize
+    results cross the pipe.
+    """
+    try:
+        while True:
+            command = conn.recv()
+            if command[0] == "window":
+                _tag, t_end, deliveries = command
+                for msg in deliveries:
+                    partitions[msg[_DST]].deliver(
+                        msg[_TIME], msg[_PRIO], msg[_PORT], msg[_PAYLOAD])
+                outs: list[tuple] = []
+                nt_min = None
+                for idx in group:
+                    part = partitions[idx]
+                    nt = part.sim.run_window(t_end)
+                    outs.extend(part.drain_outbox())
+                    if nt is not None and (nt_min is None or nt < nt_min):
+                        nt_min = nt
+                conn.send(("done", nt_min, outs))
+            elif command[0] == "finish":
+                _tag, until = command
+                results = {}
+                dropped = 0
+                for idx in group:
+                    part = partitions[idx]
+                    part.sim.run(until=until)
+                    dropped += len(part.drain_outbox())
+                    results[idx] = (part.finalize()
+                                    if part.finalize is not None else None)
+                conn.send(("result", results, dropped))
+                return
+            else:  # pragma: no cover - defensive
+                raise PartitionError(f"unknown command {command[0]!r}")
+    finally:
+        conn.close()

@@ -1,0 +1,183 @@
+"""Split a topology into K switch partitions joined by cut links.
+
+The partitioned engine (:mod:`repro.sim.partition`) runs one
+independent calendar per partition; this module produces the static
+plan it needs: a deterministic assignment of switches (hosts follow
+their switch) to ``n_parts`` balanced groups, the *cut links* whose
+endpoints land in different groups, and one standalone sub-topology
+per group.
+
+At every cut a **gateway host** is attached to the local switch on the
+exact port the cut cable used, standing in for "everything beyond the
+cut".  Traffic that must cross a partition boundary terminates at the
+local gateway, rides a cross-partition message (delay = the cut wire
+latency, which is also the engine lookahead), and re-injects from the
+remote gateway — the same store-and-forward shape the paper's
+in-transit buffers give a host in the middle of a route, applied at
+partition boundaries.
+
+The assignment is a pure function of ``(topology, n_parts)``: regions
+are grown one at a time to their balanced target size by deterministic
+BFS frontier expansion (sorted-port neighbor order, seeded at the
+lowest unassigned switch id), which keeps each region connected
+whenever the fabric allows it.  Worker count never influences the
+plan, so partitioned results are independent of ``--engine-jobs``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.topology.graph import Link, Topology, TopologyError
+
+__all__ = ["PartitionPlan", "partition_topology"]
+
+
+@dataclass
+class PartitionPlan:
+    """The static result of cutting one topology into K partitions."""
+
+    topo: Topology
+    n_parts: int
+    #: Global node id (switch or host) -> partition index.
+    part_of: dict[int, int]
+    #: One standalone topology per partition (gateway hosts included).
+    subs: list[Topology]
+    #: Per partition: global node id -> local node id.
+    to_local: list[dict[int, int]]
+    #: Per partition: local node id -> global node id (gateway hosts,
+    #: which exist only locally, are absent).
+    to_global: list[dict[int, int]]
+    #: Cut cables, by ascending global link id.
+    cut_links: list[Link] = field(default_factory=list)
+    #: (partition, global cut link id) -> local gateway host id.
+    gateways: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    @property
+    def min_cut_length_m(self) -> float:
+        """Shortest cut cable — bounds the engine lookahead."""
+        if not self.cut_links:
+            raise TopologyError("partition plan has no cut links")
+        return min(link.length_m for link in self.cut_links)
+
+    def local_host(self, part: int, global_host: int) -> int:
+        """Local id of a real (non-gateway) host inside ``part``."""
+        return self.to_local[part][global_host]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        sizes = [len(sub.switches()) for sub in self.subs]
+        return (f"<PartitionPlan {self.topo.name!r} parts={sizes}"
+                f" cuts={len(self.cut_links)}>")
+
+
+def _grow_regions(topo: Topology, n_parts: int) -> dict[int, int]:
+    """Assign switches to ``n_parts`` balanced connected regions.
+
+    Each region is seeded at the lowest unassigned switch id and grown
+    to its target size by BFS over unassigned switches, expanding
+    neighbors in :meth:`Topology.switch_neighbors` order (sorted by
+    port number) — fully deterministic.  When a region's frontier dies
+    before reaching its target (the unassigned remainder is
+    disconnected) the region stays short and the shortfall spills into
+    later regions; :func:`partition_topology` validates every
+    sub-topology afterwards, so an unroutable split fails loudly.
+    """
+    switches = topo.switches()
+    remaining = set(switches)
+    assignment: dict[int, int] = {}
+    base, extra = divmod(len(switches), n_parts)
+    nominal_cum = 0
+    for part in range(n_parts):
+        if not remaining:
+            break
+        # Nominal balanced size, plus whatever earlier regions fell
+        # short of their own targets when their frontiers died.
+        target = base + (1 if part < extra else 0)
+        target += nominal_cum - len(assignment)
+        nominal_cum += base + (1 if part < extra else 0)
+        seed = min(remaining)
+        remaining.discard(seed)
+        assignment[seed] = part
+        grown = 1
+        queue = deque([seed])
+        while queue and grown < target:
+            sw = queue.popleft()
+            for _port, far, _link in topo.switch_neighbors(sw):
+                if far in remaining:
+                    remaining.discard(far)
+                    assignment[far] = part
+                    queue.append(far)
+                    grown += 1
+                    if grown >= target:
+                        break
+    for sw in sorted(remaining):  # ran out of parts: tack onto the last
+        assignment[sw] = n_parts - 1
+    return assignment
+
+
+def partition_topology(topo: Topology, n_parts: int) -> PartitionPlan:
+    """Cut ``topo`` into ``n_parts`` balanced switch partitions.
+
+    Raises :class:`TopologyError` when a partition's switch fabric
+    comes out disconnected (pick a different ``n_parts``, or a
+    topology whose BFS layout cuts cleanly) — the conservative engine
+    needs every sub-topology to be a routable network of its own.
+    """
+    switches = topo.switches()
+    if not 1 <= n_parts <= len(switches):
+        raise TopologyError(
+            f"cannot cut {len(switches)} switches into {n_parts} partitions")
+
+    part_of = _grow_regions(topo, n_parts)
+    for host in topo.hosts():
+        part_of[host] = part_of[topo.switch_of(host)]
+
+    subs = [Topology(name=f"{topo.name}/p{part}") for part in range(n_parts)]
+    to_local: list[dict[int, int]] = [{} for _ in range(n_parts)]
+    to_global: list[dict[int, int]] = [{} for _ in range(n_parts)]
+    for sw in switches:  # global id order => deterministic local ids
+        part = part_of[sw]
+        local = subs[part].add_switch(topo.n_ports(sw),
+                                      name=topo.node_name(sw))
+        to_local[part][sw] = local
+        to_global[part][local] = sw
+
+    cut_links: list[Link] = []
+    gateways: dict[tuple[int, int], int] = {}
+    for link in topo.links:
+        ends = link.endpoints()
+        pa, pb = part_of[ends[0][0]], part_of[ends[1][0]]
+        if pa == pb:
+            sub, local = subs[pa], to_local[pa]
+            (na, porta), (nb, portb) = ends
+            if topo.is_host(na):
+                local[na] = sub.add_host(name=topo.node_name(na))
+                to_global[pa][local[na]] = na
+            if topo.is_host(nb) and nb not in local:
+                local[nb] = sub.add_host(name=topo.node_name(nb))
+                to_global[pa][local[nb]] = nb
+            sub.connect(local[na], porta, local[nb], portb,
+                        kind=link.kind, length_m=link.length_m)
+            continue
+        # A cut: only switch-to-switch cables can land here (hosts
+        # inherit their switch's partition), one gateway host per side.
+        cut_links.append(link)
+        for (node, port), part in ((ends[0], pa), (ends[1], pb)):
+            gw = subs[part].attach_host(
+                to_local[part][node], port, kind=link.kind,
+                name=f"gw{link.link_id}", length_m=link.length_m)
+            gateways[(part, link.link_id)] = gw
+
+    for sub in subs:
+        try:
+            sub.validate()
+        except TopologyError as exc:
+            raise TopologyError(
+                f"partitioning {topo.name!r} into {n_parts} leaves"
+                f" {sub.name!r} unroutable: {exc}") from exc
+
+    return PartitionPlan(
+        topo=topo, n_parts=n_parts, part_of=part_of, subs=subs,
+        to_local=to_local, to_global=to_global,
+        cut_links=cut_links, gateways=gateways)

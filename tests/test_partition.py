@@ -1,0 +1,406 @@
+"""Partitioned engine, topology partitioner, and storm determinism.
+
+Three layers under test:
+
+* :mod:`repro.sim.partition` — protocol enforcement, same-instant
+  ordering at partition boundaries, inline/forked executor identity,
+  and a hypothesis property pinning the merged two-partition event
+  stream to a single-calendar oracle.
+* :mod:`repro.topology.partition` — balanced connected regions,
+  gateway placement at the exact cut ports, loud failure on
+  unroutable splits.
+* :mod:`repro.harness.storm` — the determinism contract of
+  ``docs/PARALLEL.md``: summaries are byte-identical for every
+  ``engine_jobs`` value.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.storm import run_storm, storm_topology
+from repro.sim.engine import Simulator, Timeout
+from repro.sim.partition import Partition, PartitionedEngine, PartitionError
+from repro.topology.graph import PortKind, Topology, TopologyError
+from repro.topology.partition import partition_topology
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+# ---------------------------------------------------------------------------
+# protocol enforcement
+# ---------------------------------------------------------------------------
+
+
+def _pair(lookahead: float = 5.0, jobs: int = 1):
+    """Two empty partitions under one engine, plus a shared event log."""
+    log: list = []
+    parts = [Partition(0, Simulator()), Partition(1, Simulator())]
+    engine = PartitionedEngine(parts, lookahead=lookahead, jobs=jobs)
+    return engine, parts, log
+
+
+def test_engine_rejects_empty_partition_list():
+    with pytest.raises(PartitionError, match="at least one"):
+        PartitionedEngine([], lookahead=1.0)
+
+
+def test_engine_rejects_nonpositive_lookahead():
+    part = Partition(0, Simulator())
+    with pytest.raises(PartitionError, match="lookahead"):
+        PartitionedEngine([part], lookahead=0.0)
+
+
+def test_engine_rejects_misnumbered_partition():
+    parts = [Partition(0, Simulator()), Partition(0, Simulator())]
+    with pytest.raises(PartitionError, match="position 1"):
+        PartitionedEngine(parts, lookahead=1.0)
+
+
+def test_send_enforces_lookahead_floor():
+    engine, (a, _b), _log = _pair(lookahead=5.0)
+    a.send(1, "p", "ok", delay=5.0)       # exactly the lookahead: fine
+    a.send(1, "p", "ok")                  # default delay = lookahead
+    with pytest.raises(PartitionError, match="undercuts"):
+        a.send(1, "p", "bad", delay=4.999)
+    assert len(a.drain_outbox()) == 2
+
+
+def test_deliver_to_unknown_port_raises():
+    engine, (_a, b), _log = _pair()
+    with pytest.raises(PartitionError, match="no port"):
+        b.deliver(1.0, 0, "nowhere", None)
+
+
+def test_drain_outbox_empties():
+    engine, (a, _b), _log = _pair()
+    a.send(1, "p", 1)
+    assert len(a.drain_outbox()) == 1
+    assert a.drain_outbox() == []
+
+
+# ---------------------------------------------------------------------------
+# same-instant ordering at partition boundaries
+# ---------------------------------------------------------------------------
+
+
+def test_delivery_ranks_after_preexisting_same_instant_event():
+    """A boundary message landing at time T is scheduled *after* a
+    local callback already in the calendar at T — ``schedule_at``'s
+    ``(time, priority, seq)`` order, with the delivery holding the
+    larger seq because it enters the calendar later."""
+    engine, (a, b), log = _pair(lookahead=5.0)
+    b.on_message("port", lambda payload: log.append(("msg", payload)))
+    b.sim.schedule_at(5.0, lambda: log.append(("local", b.sim.now)))
+    a.sim.schedule_at(0.0, lambda: a.send(1, "port", "x"))  # lands at 5.0
+    engine.run(until=20.0)
+    assert log == [("local", 5.0), ("msg", "x")]
+
+
+def test_delivery_priority_breaks_same_instant_ties():
+    """``deliver`` honors the message priority: a negative-priority
+    delivery at T outranks the default-priority local event at T."""
+    engine, (_a, b), log = _pair(lookahead=5.0)
+    b.on_message("port", lambda payload: log.append("msg"))
+    b.sim.schedule_at(5.0, lambda: log.append("local"))
+    b.deliver(5.0, -1, "port", None)
+    engine.run(until=20.0)
+    assert log == ["msg", "local"]
+
+
+def test_process_now_inside_delivery_keeps_fifo_position():
+    """A handler that starts a process with ``process_now`` runs its
+    first step inside the delivery callback — ahead of a same-instant
+    calendar entry scheduled after the delivery."""
+    engine, (a, b), log = _pair(lookahead=5.0)
+
+    def handler(payload):
+        def proc():
+            log.append("proc-step")
+            yield Timeout(1.0)
+            log.append("proc-late")
+        b.sim.process_now(proc())
+        b.sim.schedule(0.0, lambda: log.append("after"))
+
+    b.on_message("port", handler)
+    a.sim.schedule_at(0.0, lambda: a.send(1, "port", None))
+    engine.run(until=20.0)
+    assert log == ["proc-step", "after", "proc-late"]
+
+
+def test_messages_past_until_are_dropped_and_counted():
+    engine, (a, _b), _log = _pair(lookahead=5.0)
+    a.sim.schedule_at(8.0, lambda: a.send(1, "port", None))  # lands at 13
+    engine.run(until=10.0)
+    assert engine.stats["dropped"] == 1
+    assert engine.stats["messages"] == 0
+
+
+# ---------------------------------------------------------------------------
+# merged stream == single-calendar oracle (hypothesis)
+# ---------------------------------------------------------------------------
+
+LOOKAHEAD = 4.0
+
+
+@given(
+    sends=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1),        # src partition
+            st.integers(min_value=0, max_value=12),       # send time
+            st.integers(min_value=0, max_value=8),        # extra delay
+        ),
+        min_size=1, max_size=24,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_merged_two_partition_stream_matches_single_calendar_oracle(sends):
+    """The engine's delivery stream equals one calendar running the
+    same schedule: for each generated send, partition ``src`` emits a
+    message at ``t_send`` that lands in the other partition at
+    ``t_send + LOOKAHEAD + extra``.  The oracle replays the identical
+    merge order — sorted ``(time, priority, src, seq)`` — on a single
+    :class:`Simulator`.  The contract is *per destination* (partitions
+    execute concurrently, so only each partition's own stream has a
+    defined order): any window-protocol reordering would split the
+    per-destination logs."""
+    until = 64.0
+
+    # -- engine run --------------------------------------------------------
+    log: list = []
+    parts = [Partition(0, Simulator()), Partition(1, Simulator())]
+    engine = PartitionedEngine(parts, lookahead=LOOKAHEAD)
+    for i, part in enumerate(parts):
+        part.on_message(
+            "evt", lambda payload, i=i: log.append((parts[i].sim.now, i,
+                                                    payload)))
+    for n, (src, t_send, extra) in enumerate(sends):
+        delay = LOOKAHEAD + float(extra)
+        parts[src].sim.schedule_at(
+            float(t_send),
+            lambda src=src, delay=delay, n=n:
+                parts[src].send(1 - src, "evt", n, delay=delay))
+    engine.run(until=until)
+
+    # -- single-calendar oracle -------------------------------------------
+    expected_msgs = []
+    seq = {0: 0, 1: 0}
+    # Each partition numbers its sends in *execution* order: by send
+    # time, list position breaking same-instant ties (``schedule_at``
+    # keeps FIFO order among equal timestamps).
+    for n, (src, t_send, extra) in sorted(enumerate(sends),
+                                          key=lambda e: (e[1][1], e[0])):
+        seq[src] += 1
+        expected_msgs.append(
+            (float(t_send) + LOOKAHEAD + extra, 0, src, seq[src], 1 - src, n))
+    expected_msgs.sort(key=lambda m: m[:4])
+
+    oracle = Simulator()
+    oracle_log: list = []
+    for t, _prio, _src, _seq, dst, n in expected_msgs:
+        if t > until:
+            continue
+        oracle.schedule_at(t, lambda t=t, dst=dst, n=n:
+                           oracle_log.append((t, dst, n)))
+    oracle.run(until=until)
+
+    for dst in (0, 1):
+        assert ([e for e in log if e[1] == dst]
+                == [e for e in oracle_log if e[1] == dst])
+    assert engine.stats["messages"] + engine.stats["dropped"] == len(sends)
+
+
+# ---------------------------------------------------------------------------
+# inline vs forked executor identity
+# ---------------------------------------------------------------------------
+
+
+def _ping_pong_engine(jobs: int, rounds: int = 6):
+    """Two partitions bouncing a counter; finalize returns the local
+    event log so forked workers can ship it back over the pipe."""
+    logs = [[], []]
+    parts = [
+        Partition(i, Simulator(), finalize=(lambda i=i: logs[i]))
+        for i in range(2)
+    ]
+    engine = PartitionedEngine(parts, lookahead=3.0, jobs=jobs)
+
+    def make_handler(i):
+        def handler(count):
+            logs[i].append((parts[i].sim.now, count))
+            if count < rounds:
+                parts[i].send(1 - i, "ball", count + 1)
+        return handler
+
+    for i, part in enumerate(parts):
+        part.on_message("ball", make_handler(i))
+    parts[0].sim.schedule_at(0.0, lambda: parts[0].send(1, "ball", 1))
+    results = engine.run(until=100.0)
+    return results, dict(engine.stats)
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="fork start method unavailable")
+def test_inline_and_forked_executors_are_identical():
+    inline_results, inline_stats = _ping_pong_engine(jobs=1)
+    forked_results, forked_stats = _ping_pong_engine(jobs=2)
+    assert forked_stats["mode"] == "forked"
+    assert inline_results == forked_results
+    for key in ("windows", "messages", "dropped"):
+        assert inline_stats[key] == forked_stats[key]
+
+
+def test_single_partition_forced_inline():
+    """jobs > 1 with one partition silently runs inline (nothing to
+    parallelize)."""
+    log = []
+    part = Partition(0, Simulator(), finalize=lambda: list(log))
+    engine = PartitionedEngine([part], lookahead=1.0, jobs=4)
+    part.sim.schedule_at(2.0, lambda: log.append("x"))
+    (result,) = engine.run(until=10.0)
+    assert result == ["x"]
+    assert engine.stats["mode"] == "inline"
+
+
+# ---------------------------------------------------------------------------
+# topology partitioner
+# ---------------------------------------------------------------------------
+
+
+def test_chain_partition_is_balanced_with_expected_cuts():
+    topo = storm_topology(8, hosts_per_switch=2)
+    plan = partition_topology(topo, 4)
+    assert [len(sub.switches()) for sub in plan.subs] == [2, 2, 2, 2]
+    # A chain of 8 cut into 4 contiguous pairs severs 3 trunks.
+    assert len(plan.cut_links) == 3
+    # One gateway host per cut side, named after the global link.
+    assert len(plan.gateways) == 2 * len(plan.cut_links)
+    for (part, link_id), gw in plan.gateways.items():
+        sub = plan.subs[part]
+        assert sub.is_host(gw)
+        assert sub.node_name(gw) == f"gw{link_id}"
+        assert gw not in plan.to_global[part]  # gateways are local-only
+
+
+def test_hosts_follow_their_switch():
+    topo = storm_topology(6, hosts_per_switch=2)
+    plan = partition_topology(topo, 3)
+    for host in topo.hosts():
+        assert plan.part_of[host] == plan.part_of[topo.switch_of(host)]
+        part = plan.part_of[host]
+        local = plan.local_host(part, host)
+        assert plan.to_global[part][local] == host
+
+
+def test_cut_gateways_sit_on_the_cut_ports():
+    topo = storm_topology(4, hosts_per_switch=1)
+    plan = partition_topology(topo, 2)
+    (link,) = plan.cut_links
+    for (node, port), part in zip(link.endpoints(),
+                                  (plan.part_of[link.node_a],
+                                   plan.part_of[link.node_b])):
+        gw = plan.gateways[(part, link.link_id)]
+        sub = plan.subs[part]
+        local_switch = plan.to_local[part][node]
+        # The gateway's cable occupies the exact port the cut used.
+        cables = [lk for lk in sub.links
+                  if gw in (lk.node_a, lk.node_b)]
+        assert len(cables) == 1
+        assert cables[0].port_at(local_switch) == port
+        assert cables[0].length_m == link.length_m
+
+
+def test_min_cut_length_bounds_lookahead():
+    topo = storm_topology(4, trunk_length_m=150.0)
+    plan = partition_topology(topo, 2)
+    assert plan.min_cut_length_m == 150.0
+    single = partition_topology(topo, 1)
+    with pytest.raises(TopologyError, match="no cut links"):
+        _ = single.min_cut_length_m
+
+
+def test_too_many_partitions_raises():
+    topo = storm_topology(4)
+    with pytest.raises(TopologyError, match="cannot cut"):
+        partition_topology(topo, 5)
+    with pytest.raises(TopologyError, match="cannot cut"):
+        partition_topology(topo, 0)
+
+
+def test_unroutable_split_fails_loudly():
+    """A star fabric cut into 2: the second region inherits two leaves
+    that only connect through the (assigned-away) hub — the validator
+    must reject the disconnected sub-fabric with a pointed message."""
+    topo = Topology(name="star")
+    hub = topo.add_switch(n_ports=8)
+    for _ in range(3):
+        leaf = topo.add_switch(n_ports=8)
+        topo.connect(hub, topo.free_port(hub), leaf, topo.free_port(leaf),
+                     kind=PortKind.SAN, length_m=10.0)
+    for sw in topo.switches():
+        topo.attach_host(sw, topo.free_port(sw), kind=PortKind.SAN)
+    topo.validate()
+    with pytest.raises(TopologyError, match="unroutable"):
+        partition_topology(topo, 2)
+
+
+# ---------------------------------------------------------------------------
+# storm determinism (the docs/PARALLEL.md contract)
+# ---------------------------------------------------------------------------
+
+_STORM_KW = dict(n_switches=4, n_parts=2, hosts_per_switch=1,
+                 packet_size=512, rate=0.05, duration_ns=20_000.0,
+                 cross_fraction=0.3, seed=7)
+
+
+def test_storm_delivers_and_crosses():
+    res = run_storm(**_STORM_KW)
+    assert res.total("offered") > 0
+    assert res.total("delivered") > 0
+    assert res.total("cross_sent") > 0
+    assert res.total("cross_delivered") == res.total("cross_sent")
+    assert res.engine["windows"] > 0
+    assert res.engine["messages"] >= res.total("cross_sent")
+    assert res.mean_latency_ns > 0
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="fork start method unavailable")
+def test_storm_summary_independent_of_engine_jobs():
+    serial = run_storm(**_STORM_KW, engine_jobs=1)
+    forked = run_storm(**_STORM_KW, engine_jobs=2)
+    assert forked.execution["mode"] == "forked"
+    assert serial.execution["mode"] == "inline"
+    assert serial.summary() == forked.summary()
+
+
+def test_storm_summary_is_seed_sensitive():
+    base = run_storm(**_STORM_KW)
+    other = run_storm(**{**_STORM_KW, "seed": 8})
+    assert base.summary() != other.summary()
+
+
+def test_attach_partition_engine_publishes_stats():
+    """The obs bridge mirrors ``PartitionedEngine.stats`` live."""
+    from repro.obs.attach import attach_partition_engine
+    from repro.obs.registry import MetricsRegistry
+
+    engine, (a, b), log = _pair(lookahead=5.0)
+    b.on_message("evt", lambda payload: log.append(payload))
+    registry = MetricsRegistry()
+    attach_partition_engine(registry, engine)
+
+    def read(name):
+        (metric,) = [m for m in registry.collect() if m.name == name]
+        return metric.value
+
+    assert read("partition_windows") == 0
+    a.sim.schedule(0.0, lambda: a.send(1, "evt", "x"))
+    engine.run(until=20.0)
+    assert read("partition_windows") == engine.stats["windows"] > 0
+    assert read("partition_messages") == 1
+    assert read("partition_dropped") == 0
+    assert read("partition_sync_stall_seconds") == engine.stats["stall_s"]
+    assert log  # the message really arrived

@@ -464,3 +464,177 @@ def test_random_contended_traffic_equivalent(traffic):
     st_records, st_log = _star_traffic(traffic, False)
     assert ex_records == st_records
     assert sorted(ex_log) == sorted(st_log)
+
+
+class TestClaimHorizon:
+    """Claim-horizon partial flights (``fabric.express_horizon``): a
+    lightly-contended route flies its clean channel prefix closed-form
+    and demotes only the contended suffix.  Every scenario runs three
+    ways — horizon, express-without-horizon, stepped — and must produce
+    identical per-worm records and observer logs; only the counters
+    (``partial`` vs ``fallbacks``) distinguish the modes."""
+
+    def _net(self, first_hop_hosts: bool = False):
+        """5-switch line with mid-line crossing hosts for contention."""
+        topo = Topology()
+        sws = [topo.add_switch(n_ports=6) for _ in range(5)]
+        for i in range(4):
+            topo.connect(sws[i], 4, sws[i + 1], 5)
+        src = topo.attach_host(sws[0], 0, name="src")
+        dst = topo.attach_host(sws[4], 0, name="dst")
+        m1 = topo.attach_host(sws[3], 1, name="m1")
+        m2 = topo.attach_host(sws[4], 1, name="m2")
+        e1 = topo.attach_host(sws[1], 1, name="e1")
+        e2 = topo.attach_host(sws[2], 1, name="e2")
+        blocker = None
+        if first_hop_hosts:
+            b1 = topo.attach_host(sws[0], 2, name="b1")
+            b2 = topo.attach_host(sws[1], 2, name="b2")
+            blocker = SourceRoute(src=b1, dst=b2, ports=(4, 2),
+                                  switch_path=(sws[0], sws[1]))
+        sim = Simulator()
+        fabric = Fabric(sim, topo, Timings())
+        main = SourceRoute(src=src, dst=dst, ports=(4, 4, 4, 4, 0),
+                           switch_path=tuple(sws))
+        late = SourceRoute(src=m1, dst=m2, ports=(4, 1),
+                           switch_path=(sws[3], sws[4]))
+        early = SourceRoute(src=e1, dst=e2, ports=(4, 1),
+                            switch_path=(sws[1], sws[2]))
+        if first_hop_hosts:
+            return sim, fabric, sws, main, blocker
+        return sim, fabric, sws, main, late, early
+
+    @staticmethod
+    def _modes():
+        # (express_enabled, express_horizon)
+        return {"horizon": (True, True),
+                "express": (True, False),
+                "stepped": (False, False)}
+
+    def _run_modes(self, scenario):
+        out = {}
+        for mode, (express, horizon) in self._modes().items():
+            out[mode] = scenario(express, horizon)
+        records = {m: r[0] for m, r in out.items()}
+        logs = {m: r[1] for m, r in out.items()}
+        assert records["horizon"] == records["express"] == records["stepped"]
+        assert logs["horizon"] == logs["express"] == logs["stepped"]
+        return {m: r[2] for m, r in out.items()}  # fabrics
+
+    def test_late_blocker_truncates_not_demotes(self):
+        """A blocker holding the 4th trunk: the horizon lane flies the
+        clean 4-channel prefix closed-form (one partial), where the
+        plain express lane falls all the way back to stepped."""
+        def scenario(express, horizon):
+            sim, fabric, _sws, main, late, _early = self._net()
+            fabric.express_enabled = express
+            fabric.express_horizon = horizon
+            log: list = []
+            obs = LogObserver(log)
+            worms = {
+                "L": _launch_at(sim, fabric, late, b"z" * 400, obs, "L"),
+                "M": _launch_at(sim, fabric, main, b"z" * 200, obs, "M",
+                                at=10.0),
+            }
+            sim.run()
+            return _records(worms), log, fabric
+
+        fabrics = self._run_modes(scenario)
+        horizon_stats = fabrics["horizon"].express_stats
+        assert horizon_stats.partial == 1
+        assert horizon_stats.hits == 2          # L full + M partial
+        assert horizon_stats.fallbacks == 0
+        plain_stats = fabrics["express"].express_stats
+        assert plain_stats.partial == 0
+        assert plain_stats.hits == 1            # only L
+        assert plain_stats.fallbacks == 1       # M bailed on any conflict
+
+    def test_down_link_mid_route_truncates_and_kills(self):
+        """A dead trunk past the prefix: the partial flight flies up
+        to the down channel, then the stepped suffix loses the head
+        there — identical loss timing in all three modes."""
+        def scenario(express, horizon):
+            sim, fabric, sws, main, _late, _early = self._net()
+            fabric.express_enabled = express
+            fabric.express_horizon = horizon
+            trunk = next(
+                link for link in fabric.topo.links
+                if {link.node_a, link.node_b} == {sws[2], sws[3]})
+            fabric.set_link_down(trunk.link_id)
+            lost: list = []
+            fabric.on_worm_lost = lambda worm: lost.append(
+                (worm.meta["tag"], sim.now))
+            log: list = []
+            worms = {"M": _launch_at(sim, fabric, main, b"d" * 256,
+                                     LogObserver(log), "M")}
+            sim.run()
+            return _records(worms), log + lost, fabric
+
+        fabrics = self._run_modes(scenario)
+        assert fabrics["horizon"].express_stats.partial == 1
+        assert fabrics["express"].express_stats.fallbacks == 1
+
+    def test_contender_inside_prefix_interrupts_partial(self):
+        """A partial flight's *virtual* prefix is interrupted by a
+        contender claiming inside it: the holds materialize with exact
+        stepped timestamps and both worms finish identically."""
+        def scenario(express, horizon):
+            sim, fabric, _sws, main, late, early = self._net()
+            fabric.express_enabled = express
+            fabric.express_horizon = horizon
+            log: list = []
+            obs = LogObserver(log)
+            worms = {
+                "L": _launch_at(sim, fabric, late, b"z" * 400, obs, "L"),
+                "M": _launch_at(sim, fabric, main, b"z" * 300, obs, "M",
+                                at=10.0),
+                "E": _launch_at(sim, fabric, early, b"z" * 300, obs, "E",
+                                at=20.0),
+            }
+            sim.run()
+            return _records(worms), log, fabric
+
+        fabrics = self._run_modes(scenario)
+        assert fabrics["horizon"].express_stats.partial >= 1
+
+    def test_short_prefix_falls_back(self):
+        """A conflict on the second channel leaves a 1-channel prefix —
+        below ``_MIN_EXPRESS_PREFIX``, so the horizon lane declines the
+        partial flight and runs fully stepped like plain express."""
+        def scenario(express, horizon):
+            sim, fabric, _sws, main, blocker = self._net(
+                first_hop_hosts=True)
+            fabric.express_enabled = express
+            fabric.express_horizon = horizon
+            log: list = []
+            obs = LogObserver(log)
+            worms = {
+                "B": _launch_at(sim, fabric, blocker, b"q" * 500, obs, "B"),
+                "M": _launch_at(sim, fabric, main, b"q" * 200, obs, "M",
+                                at=10.0),
+            }
+            sim.run()
+            return _records(worms), log, fabric
+
+        fabrics = self._run_modes(scenario)
+        assert fabrics["horizon"].express_stats.partial == 0
+        assert fabrics["horizon"].express_stats.fallbacks == 1
+
+    def test_horizon_spans_identical(self):
+        """Partial flights must emit the same span tree as stepped."""
+        def traced(express, horizon):
+            sim, fabric, _sws, main, late, _early = self._net()
+            fabric.express_enabled = express
+            fabric.express_horizon = horizon
+            fabric.tracer = SpanTracer()
+            log: list = []
+            obs = LogObserver(log)
+            _launch_at(sim, fabric, late, b"s" * 400, obs, "L")
+            _launch_at(sim, fabric, main, b"s" * 200, obs, "M", at=10.0)
+            sim.run()
+            return tree_signature(fabric.tracer.spans)
+
+        signatures = {mode: traced(*flags)
+                      for mode, flags in self._modes().items()}
+        assert (signatures["horizon"] == signatures["express"]
+                == signatures["stepped"])

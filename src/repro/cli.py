@@ -152,6 +152,66 @@ def _cmd_fig1(_args) -> int:
     return 0
 
 
+def _cmd_topo(args) -> int:
+    """Generate a topology from a spec string and describe it."""
+    from repro.routing.minimal import switch_distances
+    from repro.routing.spanning_tree import build_orientation
+    from repro.topology.export import to_dot, to_text
+    from repro.topology.generators import make_topology
+
+    from repro.topology.graph import TopologyError
+
+    try:
+        topo = make_topology(args.spec)
+    except TopologyError as exc:
+        print(f"repro topo: {exc}", file=sys.stderr)
+        return 2
+    orientation = build_orientation(
+        topo, root=args.root if args.root >= 0 else None)
+    if args.dot:
+        print(to_dot(topo, orientation))
+        return 0
+    if args.text:
+        print(to_text(topo, orientation))
+        return 0
+
+    switches = topo.switches()
+    ecc = {s: max(switch_distances(topo, s).values()) for s in switches}
+    degree = {
+        s: len({n for (_p, n, _l) in topo.switch_neighbors(s)})
+        for s in switches
+    }
+    hosted = sum(1 for s in switches if topo.hosts_on(s))
+    print(format_table(
+        ["quantity", "value"],
+        [
+            ("name", topo.name),
+            ("switches", len(switches)),
+            ("hosts", len(topo.hosts())),
+            ("cables", len(topo.links)),
+            ("diameter", max(ecc.values())),
+            ("max fabric degree", max(degree.values())),
+            ("switches with hosts", hosted),
+            ("spanning-tree root", topo.node_name(orientation.root)),
+            ("tree depth", max(orientation.level.values())),
+        ],
+        title=f"topology {args.spec}",
+    ))
+    # The root-election view: best candidates first (the chosen root
+    # minimizes (eccentricity, id) — see choose_root).
+    candidates = sorted(switches, key=lambda s: (ecc[s], s))
+    shown = candidates[:args.candidates]
+    print()
+    print(format_table(
+        ["switch", "eccentricity", "degree", "hosts", "elected"],
+        [(topo.node_name(s), ecc[s], degree[s], len(topo.hosts_on(s)),
+          "*" if s == orientation.root else "")
+         for s in shown],
+        title=f"root candidates (top {len(shown)} of {len(switches)})",
+    ))
+    return 0
+
+
 def _cmd_validate(args) -> int:
     from repro.harness.validation import validate_claims
 
@@ -473,6 +533,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("fig1", help="Figure 1 route analysis")
     p.set_defaults(func=_cmd_fig1)
+
+    p = sub.add_parser("topo", help="generate a topology from a spec"
+                                    " string and describe it")
+    p.add_argument("spec",
+                   help="generator spec, e.g. fig6, clos:m=4,n=1,r=12,"
+                        " fattree:k=8, random-scaled:n=256,seed=3")
+    p.add_argument("--root", type=int, default=-1,
+                   help="spanning-tree root override (switch id)")
+    p.add_argument("--candidates", type=int, default=8,
+                   help="root candidates to list in the stats view")
+    group = p.add_mutually_exclusive_group()
+    group.add_argument("--text", action="store_true",
+                       help="per-port cabling listing instead of stats")
+    group.add_argument("--dot", action="store_true",
+                       help="Graphviz DOT instead of stats")
+    p.set_defaults(func=_cmd_topo)
 
     # One subcommand per registered experiment, at the top level (the
     # legacy spellings: ``repro fig7``, ``repro throughput``, ...).

@@ -28,6 +28,7 @@ __all__ = [
     "PartitionStormExperiment",
     "QUICK_SIZES",
     "RootStudyExperiment",
+    "ScaleStudyExperiment",
     "ThroughputExperiment",
     "VcStudyExperiment",
 ]
@@ -994,3 +995,164 @@ class FaultCampaignExperiment(Experiment):
         out.append(f"\n{result.total_retransmissions} retransmissions; "
                    f"{verdict}")
         return "\n".join(out)
+
+
+@register_experiment("scale-study", "EXP-SCALE 16->512 switch fabric sweep")
+class ScaleStudyExperiment(Experiment):
+    """ITB vs up*/down* across Clos, fat-tree, and irregular fabrics.
+
+    Static route-quality metrics from full batched all-pairs builds at
+    every size rung (the tentpole of the batched route construction),
+    plus one simulated offered-load point on fabrics small enough to
+    drive through the event simulator.  Methodology and findings are
+    documented in :mod:`repro.harness.scale_study` and
+    ``docs/SCALE_STUDY.md``.
+    """
+
+    cli_options = (
+        CliOption.make("--targets", type=int, nargs="+",
+                       default=[16, 32, 64, 128, 256, 512],
+                       help="switch-count rungs of the sweep"),
+        CliOption.make("--families", nargs="+",
+                       default=["clos", "fattree", "irregular"],
+                       choices=["clos", "fattree", "irregular"]),
+        CliOption.make("--dynamic-max", type=int, default=64,
+                       help="largest rung that also gets a simulated"
+                            " traffic point"),
+        CliOption.make("--rate", type=float, default=0.08,
+                       help="offered load of the dynamic point"
+                            " (bytes/ns/host)"),
+        CliOption.make("--duration", type=float, default=120.0,
+                       help="dynamic measurement window (us)"),
+        CliOption.make("--seed", type=int, default=11,
+                       help="irregular-family topology seed"),
+        CliOption.make("--quick", action="store_true",
+                       help="rungs <= 64, dynamic <= 32 (CI smoke)"),
+    )
+
+    def default_spec(self) -> ExperimentSpec:
+        return ExperimentSpec(
+            experiment="scale-study",
+            topology="scale",
+            topo_seed=11,
+            routings=("updown", "itb"),
+            packet_size=512,
+            duration_ns=120_000.0,
+            warmup_ns=24_000.0,
+            params={
+                "targets": [16, 32, 64, 128, 256, 512],
+                "families": ["clos", "fattree", "irregular"],
+                "dynamic_max": 64,
+                "rate": 0.08,
+            },
+        )
+
+    def points(self, spec: ExperimentSpec) -> list[dict]:
+        return [
+            {"family": family, "target": target, "routing": routing}
+            for family in spec.params["families"]
+            for target in spec.params["targets"]
+            for routing in spec.routings
+        ]
+
+    def measure(self, spec: ExperimentSpec, point: dict, ctx: Any) -> Any:
+        from repro.harness.scale_study import measure_scale_point
+
+        return measure_scale_point(
+            family=point["family"],
+            target=point["target"],
+            routing=point["routing"],
+            topo_seed=spec.topo_seed,
+            rate=float(spec.params.get("rate", 0.08)),
+            dynamic_max=int(spec.params.get("dynamic_max", 64)),
+            packet_size=spec.packet_size,
+            duration_ns=spec.duration_ns,
+            warmup_ns=spec.warmup_ns,
+            traffic_seed=spec.traffic_seed,
+            timings=spec.timings,
+            build=ctx.build,
+        )
+
+    def summarize(self, spec: ExperimentSpec, results: Sequence[Any]) -> Any:
+        from repro.harness.scale_study import ScaleStudyResult
+
+        return ScaleStudyResult(
+            families=tuple(spec.params["families"]),
+            targets=tuple(spec.params["targets"]),
+            routings=tuple(spec.routings),
+            topo_seed=spec.topo_seed,
+            rows=list(results),
+        )
+
+    def route_requirements(
+        self, spec: ExperimentSpec
+    ) -> Iterable[tuple[Topology, str, Optional[int]]]:
+        from repro.harness.scale_study import family_topology
+
+        dynamic_max = int(spec.params.get("dynamic_max", 64))
+        for family in spec.params["families"]:
+            for target in spec.params["targets"]:
+                if target > dynamic_max:
+                    continue
+                topo = family_topology(family, target, spec.topo_seed)
+                for routing in spec.routings:
+                    yield (topo, routing, None)
+
+    def spec_from_args(self, args: Any) -> ExperimentSpec:
+        spec = self.default_spec().replace(
+            topo_seed=args.seed,
+            duration_ns=args.duration * 1000.0,
+            warmup_ns=args.duration * 200.0,
+            params={
+                "targets": [int(t) for t in args.targets],
+                "families": list(args.families),
+                "dynamic_max": args.dynamic_max,
+                "rate": args.rate,
+            },
+        )
+        if args.quick:
+            params = dict(spec.params)
+            params["targets"] = [t for t in params["targets"] if t <= 64]
+            params["dynamic_max"] = min(params["dynamic_max"], 32)
+            spec = spec.replace(params=params, duration_ns=60_000.0,
+                                warmup_ns=12_000.0)
+        return spec
+
+    def render(self, spec: ExperimentSpec, result: Any, args: Any) -> str:
+        from repro.harness.report import format_table
+
+        rows = []
+        for r in result.rows:
+            rows.append((
+                r.family, r.n_switches, r.n_hosts, r.diameter, r.routing,
+                f"{100 * r.minimal_coverage:.1f}%",
+                f"{r.avg_stretch:.3f}",
+                f"{100 * r.root_load_fraction:.1f}%",
+                r.max_channel_load,
+                f"{r.saturation_bytes_per_ns_per_host:.4f}",
+                f"{100 * r.itb_pairs_fraction:.1f}%" if r.routing == "itb"
+                else "-",
+                f"{r.dynamic.accepted:.4f}" if r.dynamic else "-",
+                f"{r.route_s:.2f}",
+            ))
+        table = format_table(
+            ["family", "sw", "hosts", "diam", "routing", "minimal",
+             "stretch", "via-root", "max-load", "sat-bound", "itb-pairs",
+             "accepted", "route-s"],
+            rows,
+            title="EXP-SCALE — ITB vs up*/down*, 16->512 switches",
+        )
+        notes = []
+        for family in result.families:
+            biggest = max(
+                (r.target for r in result.rows if r.family == family),
+                default=None,
+            )
+            if biggest is None:
+                continue
+            ratio = result.saturation_ratio(family, biggest)
+            notes.append(f"{family}@{biggest}: ITB/UD saturation"
+                         f" ratio {ratio:.2f}x")
+        return (f"{table}\n\n{'; '.join(notes)}\n"
+                "sat-bound = analytic uniform-traffic saturation"
+                " (bytes/ns/host); route-s = batched all-pairs wall time")

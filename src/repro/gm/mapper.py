@@ -143,13 +143,16 @@ def remap_tables(
         table = net.nics[src].route_table
         if table is None:
             continue
-        for dst in alive:
-            if dst == src:
-                continue
-            try:
-                route = router.itb_route(src, dst)
-            except (RouteError, KeyError):
-                continue  # unroutable on the degraded fabric: keep stale
+        # One batched tree per surviving source; unroutable pairs are
+        # skipped inside routes_from (strict=False) — same keep-stale
+        # semantics as the old per-pair try/except loop.
+        try:
+            routes = router.routes_from(
+                src, dests=[d for d in alive if d != src], strict=False
+            )
+        except (RouteError, KeyError):
+            continue  # source itself unroutable: keep every stale route
+        for dst, route in routes.items():
             table.install(dst, route)
             updated += 1
     return updated

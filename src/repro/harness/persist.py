@@ -31,6 +31,7 @@ from repro.harness.faultcamp import FaultCampaignResult
 from repro.harness.fig7 import Fig7Result
 from repro.harness.fig8 import Fig8Result
 from repro.harness.root_study import RootStudyResult
+from repro.harness.scale_study import ScaleStudyResult
 from repro.harness.storm import StormResult
 from repro.harness.throughput import ThroughputResult
 from repro.harness.vcstudy import VcStudyResult
@@ -53,6 +54,7 @@ _RESULT_KINDS: dict[str, type] = {
     "ablation-timing": TimingSweepResult,
     "vc-study": VcStudyResult,
     "partition-storm": StormResult,
+    "scale-study": ScaleStudyResult,
 }
 
 _KIND_BY_TYPE = {cls: kind for kind, cls in _RESULT_KINDS.items()}

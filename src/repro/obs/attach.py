@@ -28,8 +28,10 @@ Metric catalog (see ``docs/OBSERVABILITY.md`` for details):
   host GM reliability counters (see ``docs/RELIABILITY.md``),
 * ``faults_injected`` / ``remap_events`` / ``fault_*`` — fault-plan
   counters, zero (and filtered from snapshots) without a plan,
-* ``route_cache_{hits,misses,evictions}`` / ``route_cache_entries`` —
-  shared route-cache behaviour (attached when a cache is passed),
+* ``route_cache_{hits,misses,evictions}`` / ``route_cache_entries`` /
+  ``route_cache_batch_hits`` — shared route-cache behaviour (attached
+  when a cache is passed); batch hits count per-source route trees
+  served whole off a warm batched entry,
 * ``partition_{windows,messages,dropped}`` /
   ``partition_sync_stall_seconds`` — partitioned-engine barrier
   telemetry (:func:`attach_partition_engine`, see
@@ -220,6 +222,11 @@ def attach_route_cache(registry: MetricsRegistry, cache) -> None:
         "route_cache_evictions", component="route-cache",
         help="cache entries dropped by the LRU memory bound",
         fn=lambda c=cache: c.evictions,
+    )
+    registry.counter(
+        "route_cache_batch_hits", component="route-cache",
+        help="per-source route trees served whole off a warm batch entry",
+        fn=lambda c=cache: c.batch_hits,
     )
     registry.gauge(
         "route_cache_entries", component="route-cache",

@@ -48,13 +48,19 @@ def topology_signature(topo: Topology) -> str:
     what lets a cache entry computed in one process serve points that
     rebuild the topology from scratch.
     """
-    parts: list[str] = [topo.name]
-    for node in range(topo.n_nodes):
-        parts.append(f"n{node}:{topo.kind(node).value}:{topo.n_ports(node)}")
-    for link in topo.links:
-        (na, pa), (nb, pb) = link.endpoints()
-        parts.append(f"l{na}.{pa}-{nb}.{pb}:{link.kind.value}")
-    return hashlib.sha1("|".join(parts).encode()).hexdigest()
+    def digest() -> str:
+        parts: list[str] = [topo.name]
+        for node in range(topo.n_nodes):
+            parts.append(f"n{node}:{topo.kind(node).value}:{topo.n_ports(node)}")
+        for link in topo.links:
+            (na, pa), (nb, pb) = link.endpoints()
+            parts.append(f"l{na}.{pa}-{nb}.{pb}:{link.kind.value}")
+        return hashlib.sha1("|".join(parts).encode()).hexdigest()
+
+    # Memoized on the topology (invalidated by node/link growth like
+    # every other derived map) so repeated cache lookups on a large
+    # fabric don't re-hash tens of thousands of link strings each time.
+    return topo.derived("topology_signature", digest)
 
 
 _ROUTERS = {
@@ -101,6 +107,7 @@ class RouteCache:
         self._hits = multiprocessing.Value("q", 0)
         self._misses = multiprocessing.Value("q", 0)
         self._evictions = multiprocessing.Value("q", 0)
+        self._batch_hits = multiprocessing.Value("q", 0)
 
     # -- stats -------------------------------------------------------------
 
@@ -119,15 +126,22 @@ class RouteCache:
         """Entries dropped by the LRU bound (all processes)."""
         return int(self._evictions.value)
 
+    @property
+    def batch_hits(self) -> int:
+        """Per-source tree requests served off a warm all-pairs entry."""
+        return int(self._batch_hits.value)
+
     def stats(self) -> dict:
         """Counters plus the number of distinct entries in *this* process."""
         return {"hits": self.hits, "misses": self.misses,
                 "evictions": self.evictions,
+                "batch_hits": self.batch_hits,
                 "entries": len(self._entries)}
 
     def reset_stats(self) -> None:
         """Zero the shared counters (entries stay cached)."""
-        for counter in (self._hits, self._misses, self._evictions):
+        for counter in (self._hits, self._misses, self._evictions,
+                        self._batch_hits):
             with counter.get_lock():
                 counter.value = 0
 
@@ -167,11 +181,10 @@ class RouteCache:
             self._misses.value += 1
         orientation = build_orientation(topo, root=root)
         router = _ROUTERS[routing](topo, orientation)
-        hosts = topo.hosts()
-        pairs = {
-            (s, d): router.itb_route(s, d)
-            for s in hosts for d in hosts if s != d
-        }
+        # Batch-first construction: one tree per source switch instead
+        # of a fresh search per host pair (byte-identical output, same
+        # insertion order as the old per-pair loop).
+        pairs = router.itb_all_pairs()
         with self._lock:
             self._entries.setdefault(key, (orientation, pairs))
             self._entries.move_to_end(key)
@@ -184,6 +197,66 @@ class RouteCache:
             with self._evictions.get_lock():
                 self._evictions.value += evicted
         return orientation, pairs
+
+    def routes_from(
+        self,
+        topo: Topology,
+        routing: str,
+        src_host: int,
+        root: Optional[int] = None,
+    ) -> tuple[UpDownOrientation, dict[int, ItbRoute]]:
+        """Routes from one source host, served off a warm batch entry.
+
+        A warm all-pairs entry (or a previously computed per-source
+        entry) serves the whole tree without any route computation —
+        counted in ``batch_hits``.  A cold lookup computes only this
+        source's tree via the batched per-source builder and caches it
+        under a source-scoped key, so partial consumers (fault remap
+        probes, CLI inspection) never pay the full all-pairs cost.
+        """
+        if routing not in _ROUTERS:
+            raise RouteError(f"unknown routing policy {routing!r}")
+        full_key = self.key_for(topo, routing, root)
+        src_key = full_key + (src_host,)
+        sub = None
+        with self._lock:
+            entry = self._entries.get(full_key)
+            if entry is not None:
+                self._entries.move_to_end(full_key)
+            else:
+                sub = self._entries.get(src_key)
+                if sub is not None:
+                    self._entries.move_to_end(src_key)
+        if entry is not None:
+            with self._batch_hits.get_lock():
+                self._batch_hits.value += 1
+            orientation, pairs = entry
+            return orientation, {d: r for (s, d), r in pairs.items()
+                                 if s == src_host}
+        if sub is not None:
+            with self._batch_hits.get_lock():
+                self._batch_hits.value += 1
+            return sub
+        with self._misses.get_lock():
+            self._misses.value += 1
+        orientation = build_orientation(topo, root=root)
+        router = _ROUTERS[routing](topo, orientation)
+        routes = {
+            d: (r if isinstance(r, ItbRoute) else ItbRoute((r,)))
+            for d, r in router.routes_from(src_host).items()
+        }
+        with self._lock:
+            self._entries.setdefault(src_key, (orientation, routes))
+            self._entries.move_to_end(src_key)
+            evicted = 0
+            while (self.max_entries is not None
+                   and len(self._entries) > self.max_entries):
+                self._entries.popitem(last=False)
+                evicted += 1
+        if evicted:
+            with self._evictions.get_lock():
+                self._evictions.value += evicted
+        return orientation, routes
 
     def tables_for(
         self,

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Sequence
 
-from repro.routing.minimal import all_shortest_switch_paths
+from repro.routing.minimal import _switch_adjacency, all_shortest_switch_paths
 from repro.routing.routes import Direction, ItbRoute, RouteError, SourceRoute
 from repro.routing.spanning_tree import UpDownOrientation, build_orientation
 from repro.routing.updown import UpDownRouter
@@ -105,6 +105,14 @@ class ItbRouter:
         self.max_paths = max_paths
         self.allow_longer = allow_longer
         self._updown = UpDownRouter(topo, self.orientation)
+        # (s_src, s_dst) -> (path, splits) | None.  Plans never invoke
+        # host_policy (only _build does), so memoizing them is invisible
+        # to stateful policies and lets every host pair on the same
+        # switch pair share one path search.
+        self._plans: dict[tuple[int, int],
+                          Optional[tuple[list[int], list[int]]]] = {}
+        # s_src -> (parent, goal) full legalization-Dijkstra tree.
+        self._legal_trees: dict[int, tuple[dict, dict]] = {}
 
     # ------------------------------------------------------------------
     # path analysis
@@ -136,8 +144,125 @@ class ItbRouter:
         if src_host == dst_host:
             raise RouteError("source and destination host are the same")
         s_src, s_dst = topo.switch_of(src_host), topo.switch_of(dst_host)
+        plan = self._pair_plan(s_src, s_dst)
+        if plan is not None:
+            return self._build(src_host, dst_host, plan[0], plan[1])
+        # Last resort: the plain up*/down* route (always legal).
+        return self._updown.itb_route(src_host, dst_host)
 
+    def _pair_plan(
+        self, s_src: int, s_dst: int
+    ) -> Optional[tuple[list[int], list[int]]]:
+        """Memoized ``(switch_path, splits)`` plan for a switch pair.
+
+        ``None`` means "fall back to plain up*/down*".  Plans are pure
+        path analysis — :meth:`_build` applies the (possibly stateful)
+        host policy per host pair afterwards.
+        """
+        key = (s_src, s_dst)
+        if key in self._plans:
+            return self._plans[key]
+        topo = self.topo
         best: Optional[tuple[int, list[int], list[int]]] = None  # (n_itb, path, splits)
+        for path in all_shortest_switch_paths(topo, s_src, s_dst,
+                                              limit=self.max_paths):
+            splits = self.split_points(path)
+            if not all(topo.hosts_on(path[i]) for i in splits):
+                continue
+            if best is None or len(splits) < best[0]:
+                best = (len(splits), path, splits)
+            if best[0] == 0:
+                break
+        plan: Optional[tuple[list[int], list[int]]] = None
+        if best is not None:
+            plan = (best[1], best[2])
+        elif self.allow_longer:
+            plan = self._shortest_legalizable(s_src, s_dst)
+        self._plans[key] = plan
+        return plan
+
+    def route(self, src_host: int, dst_host: int) -> ItbRoute:
+        """Alias so routers are interchangeable in the harness."""
+        return self.itb_route(src_host, dst_host)
+
+    def routes_from(
+        self,
+        src_host: int,
+        dests: Optional[Sequence[int]] = None,
+        strict: bool = True,
+    ) -> dict[int, ItbRoute]:
+        """ITB routes from one host to every destination host.
+
+        Shares the memoized pair plans and per-source legalization tree;
+        host_policy is still invoked once per host pair, in destination
+        order, so stateful policies see the same call sequence as the
+        per-pair loop.  ``strict=False`` skips unroutable destinations
+        (fault-remap keep-stale semantics).
+        """
+        topo = self.topo
+        s_src = topo.switch_of(src_host)
+        out: dict[int, ItbRoute] = {}
+        for d in (topo.hosts() if dests is None else dests):
+            if d == src_host:
+                continue
+            try:
+                plan = self._pair_plan(s_src, topo.switch_of(d))
+                if plan is not None:
+                    route = self._build(src_host, d, plan[0], plan[1])
+                else:
+                    # Warm the up*/down* tree so the fallback is batched too.
+                    self._updown.switch_tree(s_src)
+                    route = self._updown.itb_route(src_host, d)
+            except (RouteError, KeyError):
+                if strict:
+                    raise
+                continue
+            out[d] = route
+        return out
+
+    def all_pairs(self) -> dict[tuple[int, int], ItbRoute]:
+        """ITB routes for every ordered host pair (the mapper's job).
+
+        Batched over shared pair plans and per-source trees;
+        byte-identical to :meth:`all_pairs_pairwise` including the
+        host-policy call order.
+        """
+        hosts = self.topo.hosts()
+        out: dict[tuple[int, int], ItbRoute] = {}
+        for s in hosts:
+            routes = self.routes_from(s)
+            for d in hosts:
+                if s != d:
+                    out[(s, d)] = routes[d]
+        return out
+
+    def itb_all_pairs(self) -> dict[tuple[int, int], ItbRoute]:
+        """Uniform batch interface shared by every router kind."""
+        return self.all_pairs()
+
+    def all_pairs_pairwise(self) -> dict[tuple[int, int], ItbRoute]:
+        """Legacy per-pair construction — the preserved test oracle."""
+        hosts = self.topo.hosts()
+        return {
+            (s, d): self.itb_route_pairwise(s, d)
+            for s in hosts
+            for d in hosts
+            if s != d
+        }
+
+    def itb_route_pairwise(self, src_host: int, dst_host: int) -> ItbRoute:
+        """Per-pair ITB route with no shared state — the legacy path.
+
+        Re-runs path enumeration and the legalization search for every
+        pair (no plan memo, no source trees); used as the oracle that
+        the batched construction must match byte for byte.
+        """
+        topo = self.topo
+        if src_host == dst_host:
+            raise RouteError("source and destination host are the same")
+        s_src, s_dst = topo.switch_of(src_host), topo.switch_of(dst_host)
+
+        best: Optional[tuple[int, list[int], list[int]]] = None
         for path in all_shortest_switch_paths(topo, s_src, s_dst,
                                               limit=self.max_paths):
             splits = self.split_points(path)
@@ -151,27 +276,12 @@ class ItbRouter:
             return self._build(src_host, dst_host, best[1], best[2])
 
         if self.allow_longer:
-            found = self._shortest_legalizable(s_src, s_dst)
+            found = self._shortest_legalizable_pairwise(s_src, s_dst)
             if found is not None:
                 path, splits = found
                 return self._build(src_host, dst_host, path, splits)
 
-        # Last resort: the plain up*/down* route (always legal).
-        return self._updown.itb_route(src_host, dst_host)
-
-    def route(self, src_host: int, dst_host: int) -> ItbRoute:
-        """Alias so routers are interchangeable in the harness."""
-        return self.itb_route(src_host, dst_host)
-
-    def all_pairs(self) -> dict[tuple[int, int], ItbRoute]:
-        """ITB routes for every ordered host pair (the mapper's job)."""
-        hosts = self.topo.hosts()
-        return {
-            (s, d): self.itb_route(s, d)
-            for s in hosts
-            for d in hosts
-            if s != d
-        }
+        return ItbRoute((self._updown.route_pairwise(src_host, dst_host),))
 
     # ------------------------------------------------------------------
     # internals
@@ -217,7 +327,85 @@ class ItbRouter:
             start = cut  # next segment re-enters at the violation switch
         return ItbRoute(tuple(segments))
 
+    def _legal_tree_for(self, s_src: int) -> tuple[dict, dict]:
+        """Full legalization Dijkstra from one source switch, memoized.
+
+        Runs the same (hops, itbs)-lexicographic expansion as the
+        per-pair search but to exhaustion, recording the first finalized
+        state popped at every switch.  Edge costs are strictly positive
+        and relaxation is strictly ``<``, so every predecessor on a
+        goal's parent chain is finalized before the goal pops — the
+        reconstructed (path, splits) is byte-identical to the early-exit
+        per-pair search for every destination at once.
+        """
+        cached = self._legal_trees.get(s_src)
+        if cached is not None:
+            return cached
+        import heapq
+
+        topo = self.topo
+        adj = _switch_adjacency(topo)
+        table = self.orientation.pair_direction_table(topo)
+        inf = (1 << 30, 1 << 30)
+        start = (s_src, 0)
+        dist: dict[tuple[int, int], tuple[int, int]] = {start: (0, 0)}
+        parent: dict[tuple[int, int], tuple[tuple[int, int], bool]] = {}
+        heap: list[tuple[int, int, tuple[int, int]]] = [(0, 0, start)]
+        goal: dict[int, tuple[int, int]] = {}
+        while heap:
+            hops, itbs, state = heapq.heappop(heap)
+            if dist.get(state, inf) < (hops, itbs):
+                continue
+            u, phase = state
+            if u not in goal:
+                goal[u] = state
+            if phase == 1 and topo.hosts_on(u):
+                nstate = (u, 0)
+                ncost = (hops, itbs + 1)
+                if ncost < dist.get(nstate, inf):
+                    dist[nstate] = ncost
+                    parent[nstate] = (state, True)
+                    heapq.heappush(heap, (hops, itbs + 1, nstate))
+            for v in adj[u]:
+                d = table[(u, v)]
+                if phase == 1 and d is Direction.UP:
+                    continue
+                nphase = 1 if d is Direction.DOWN else phase
+                nstate = (v, nphase)
+                ncost = (hops + 1, itbs)
+                if ncost < dist.get(nstate, inf):
+                    dist[nstate] = ncost
+                    parent[nstate] = (state, False)
+                    heapq.heappush(heap, (hops + 1, itbs, nstate))
+        tree = (parent, goal)
+        self._legal_trees[s_src] = tree
+        return tree
+
     def _shortest_legalizable(
+        self, s_src: int, s_dst: int
+    ) -> Optional[tuple[list[int], list[int]]]:
+        """Shortest legalizable (path, splits), served off the memoized
+        per-source tree; ``None`` when the destination is unreachable."""
+        parent, goal = self._legal_tree_for(s_src)
+        state = goal.get(s_dst)
+        if state is None:
+            return None
+        start = (s_src, 0)
+        rev_states: list[tuple[tuple[int, int], bool]] = []
+        while state != start:
+            prev, was_reset = parent[state]
+            rev_states.append((state, was_reset))
+            state = prev
+        path = [s_src]
+        splits: list[int] = []
+        for (st, was_reset) in reversed(rev_states):
+            if was_reset:
+                splits.append(len(path) - 1)
+            else:
+                path.append(st[0])
+        return path, splits
+
+    def _shortest_legalizable_pairwise(
         self, s_src: int, s_dst: int
     ) -> Optional[tuple[list[int], list[int]]]:
         """BFS over (switch, direction-phase) with host-reset transitions.
@@ -227,7 +415,8 @@ class ItbRouter:
         reset to 0 at the cost of one ITB; we search by (hops, itbs)
         lexicographic cost with a Dijkstra-like expansion, giving the
         shortest path legalizable with ITBs of any (possibly
-        super-minimal) length.
+        super-minimal) length.  Preserved legacy per-pair search — the
+        oracle for the batched tree.
         """
         import heapq
 

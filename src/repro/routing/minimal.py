@@ -67,6 +67,15 @@ def all_shortest_switch_paths(
     if src_switch not in dist_to_dst:
         raise RouteError(f"no path {src_switch} -> {dst_switch}")
 
+    # Shortest-DAG children toward this destination, memoized lazily per
+    # visited switch: every source enumerating paths toward ``dst``
+    # shares the filtered lists instead of rescanning the (possibly very
+    # wide) adjacency per DFS node — the scale-study profile's top
+    # offender on leaf-spine fabrics.
+    children: dict[int, list[int]] = topo.derived(
+        ("shortest_dag_children", dst_switch), dict
+    )
+
     yielded = 0
     stack: list[tuple[int, list[int]]] = [(src_switch, [src_switch])]
     while stack:
@@ -77,11 +86,14 @@ def all_shortest_switch_paths(
             if limit is not None and yielded >= limit:
                 return
             continue
+        nexts = children.get(u)
+        if nexts is None:
+            nexts = [
+                v for v in adj[u]
+                if dist_to_dst.get(v, -1) == dist_to_dst[u] - 1
+            ]
+            children[u] = nexts
         # Push in reverse id order so pops occur in ascending order.
-        nexts = [
-            v for v in adj[u]
-            if dist_to_dst.get(v, -1) == dist_to_dst[u] - 1
-        ]
         for v in reversed(nexts):
             stack.append((v, path + [v]))
 
@@ -136,3 +148,53 @@ class MinimalRouter:
         if s_dst not in dist:
             raise RouteError(f"no path {src_host} -> {dst_host}")
         return dist[s_dst] + 1  # hops between switches + final switch
+
+    def routes_from(
+        self,
+        src_host: int,
+        dests: Optional[list[int]] = None,
+        strict: bool = True,
+    ) -> dict[int, SourceRoute]:
+        """Routes from one host to every destination, sharing the
+        per-switch-pair path memo across hosts on the same switch."""
+        topo = self.topo
+        s_src = topo.switch_of(src_host)
+        paths: dict[int, list[int]] = {}
+        out: dict[int, SourceRoute] = {}
+        for d in (topo.hosts() if dests is None else dests):
+            if d == src_host:
+                continue
+            s_dst = topo.switch_of(d)
+            try:
+                path = paths.get(s_dst)
+                if path is None:
+                    path = self.switch_route(s_src, s_dst)
+                    paths[s_dst] = path
+                ports = [topo.port_toward(a, b)
+                         for a, b in zip(path, path[1:])]
+                ports.append(topo.port_toward(s_dst, d))
+            except (RouteError, KeyError):
+                if strict:
+                    raise
+                continue
+            out[d] = SourceRoute(
+                src=src_host, dst=d,
+                ports=tuple(ports), switch_path=tuple(path),
+            )
+        return out
+
+    def all_pairs(self) -> dict[tuple[int, int], SourceRoute]:
+        """Minimal routes for every ordered host pair (batched)."""
+        hosts = self.topo.hosts()
+        out: dict[tuple[int, int], SourceRoute] = {}
+        for s in hosts:
+            routes = self.routes_from(s)
+            for d in hosts:
+                if s != d:
+                    out[(s, d)] = routes[d]
+        return out
+
+    def itb_all_pairs(self) -> dict[tuple[int, int], ItbRoute]:
+        """Batched all-pairs in the single-segment ITB wrapper."""
+        return {pair: ItbRoute((r,))
+                for pair, r in self.all_pairs().items()}

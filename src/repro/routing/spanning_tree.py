@@ -34,6 +34,10 @@ class UpDownOrientation:
     parent: dict[int, Optional[int]]
     # link_id -> switch id of the *up* end
     up_end: dict[int, int] = field(default_factory=dict)
+    # (topology, direction table) built lazily by pair_direction_table();
+    # excluded from equality so orientations still compare by structure.
+    _dir_cache: Optional[tuple] = field(default=None, repr=False,
+                                        compare=False, init=False)
 
     def direction(self, link_id: int, from_switch: int, to_switch: int) -> Direction:
         """Direction of traversing ``link_id`` from ``from_switch``.
@@ -57,6 +61,34 @@ class UpDownOrientation:
         """up*/down* legality: never UP after DOWN."""
         return not (prev is Direction.DOWN and nxt is Direction.UP)
 
+    def pair_direction_table(self, topo: Topology) -> dict[tuple[int, int], Direction]:
+        """Batched direction lookup: ``(from_switch, to_switch) -> Direction``.
+
+        Parallel links between the same pair always orient identically
+        (the rule depends only on endpoint levels/ids), so one entry per
+        ordered switch pair suffices.  Built once per (orientation,
+        topology) and reused by every path scan — this replaces the
+        per-hop ``links_between`` rescan that dominated batched route
+        construction on large fabrics.
+        """
+        cached = self._dir_cache
+        if cached is not None and cached[0] is topo:
+            return cached[1]
+        table: dict[tuple[int, int], Direction] = {}
+        for link in topo.links:
+            up = self.up_end.get(link.link_id)
+            if up is None:
+                continue
+            a, b = link.node_a, link.node_b
+            if up == a:
+                table[(b, a)] = Direction.UP
+                table[(a, b)] = Direction.DOWN
+            else:
+                table[(a, b)] = Direction.UP
+                table[(b, a)] = Direction.DOWN
+        self._dir_cache = (topo, table)
+        return table
+
     def path_directions(
         self, topo: Topology, switch_path: list[int] | tuple[int, ...]
     ) -> list[Direction]:
@@ -66,12 +98,13 @@ class UpDownOrientation:
         (the rule depends only on endpoint levels/ids), so the lowest-id
         link is representative.
         """
+        table = self.pair_direction_table(topo)
         dirs: list[Direction] = []
         for a, b in zip(switch_path, switch_path[1:]):
-            links = topo.links_between(a, b)
-            if not links:
+            d = table.get((a, b))
+            if d is None:
                 raise RouteError(f"switch path broken between {a} and {b}")
-            dirs.append(self.direction(links[0].link_id, a, b))
+            dirs.append(d)
         return dirs
 
     def is_valid_updown_path(
@@ -101,23 +134,22 @@ class UpDownOrientation:
 def choose_root(topo: Topology) -> int:
     """Default root selection: the switch minimizing BFS eccentricity,
     ties broken by lowest id (a common Autonet/Myrinet mapper policy).
+
+    Distance maps come from the per-source memo shared with the minimal
+    router (``switch_distances``), so the all-pairs BFS cost is paid at
+    most once per topology and only when an orientation or route is
+    actually requested — building a topology alone stays O(V + E).
     """
+    from repro.routing.minimal import switch_distances
+
     switches = topo.switches()
     if not switches:
         raise RouteError("topology has no switches")
-    adjacency = {s: sorted({n for (_p, n, _l) in topo.switch_neighbors(s)})
-                 for s in switches}
+    n = len(switches)
 
     def eccentricity(src: int) -> int:
-        dist = {src: 0}
-        q = deque([src])
-        while q:
-            u = q.popleft()
-            for v in adjacency[u]:
-                if v not in dist:
-                    dist[v] = dist[u] + 1
-                    q.append(v)
-        if len(dist) != len(switches):
+        dist = switch_distances(topo, src)
+        if len(dist) != n:
             raise RouteError("switch fabric is not connected")
         return max(dist.values())
 

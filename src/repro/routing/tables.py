@@ -66,14 +66,27 @@ def build_route_tables(
     """Compute the full set of tables the mapper would distribute.
 
     ``pairs`` may supply precomputed routes (e.g. hand-built test
-    routes); anything missing is computed via ``router.itb_route``.
+    routes); anything missing is computed via the router's batched
+    per-source ``routes_from`` when it offers one (the repo routers all
+    do — one BFS tree per source instead of a search per pair), falling
+    back to per-pair ``itb_route`` for minimal protocol implementations.
+    The router sees destinations in the same order either way, so
+    stateful host policies produce identical tables.
     """
     tables = {h: RouteTable(host=h) for h in hosts}
+    batch = getattr(router, "routes_from", None)
     for s in hosts:
+        missing = [d for d in hosts
+                   if d != s and (pairs is None or pairs.get((s, d)) is None)]
+        computed: Mapping[int, Union[SourceRoute, ItbRoute]] = {}
+        if batch is not None and missing:
+            computed = batch(s, dests=missing)
         for d in hosts:
             if s == d:
                 continue
             route = None if pairs is None else pairs.get((s, d))
+            if route is None:
+                route = computed.get(d)
             if route is None:
                 route = router.itb_route(s, d)
             tables[s].install(d, route)

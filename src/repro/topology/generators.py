@@ -23,11 +23,15 @@ import numpy as np
 from repro.topology.graph import PortKind, Topology, TopologyError
 
 __all__ = [
+    "clos",
+    "fat_tree",
     "fig1_topology",
     "fig6_testbed",
     "linear_switches",
+    "make_topology",
     "mesh_2d",
     "random_irregular",
+    "random_irregular_scaled",
     "star_of_switches",
     "torus_2d",
 ]
@@ -299,3 +303,243 @@ def random_irregular(
             topo.attach_host(s, topo.free_port(s), kind=kind)
     topo.validate()
     return topo
+
+
+def random_irregular_scaled(
+    n_switches: int,
+    seed: int,
+    ports_per_switch: int = 8,
+    switch_links: int = 4,
+    hosts_per_switch: int = 1,
+    kind: PortKind = PortKind.SAN,
+) -> Topology:
+    """Scaled variant of :func:`random_irregular` for large fabrics.
+
+    Same methodology (random connected skeleton, then random extra
+    cables up to the per-switch budget, fully seed-deterministic) but
+    with the extra-cable phase rewritten from re-enumerating every
+    candidate pair per cable — O(n³) overall, minutes at 512 switches —
+    to rejection sampling over the switches with spare budget, with an
+    exact-enumeration fallback for the tail.  Output differs from
+    :func:`random_irregular` for the same seed (different draw
+    sequence), which is why this is a new generator: the legacy one
+    stays byte-stable for goldens and cache signatures.
+    """
+    if n_switches < 2:
+        raise TopologyError("need at least two switches")
+    if switch_links < 1 or switch_links >= ports_per_switch:
+        raise TopologyError("switch_links must be in [1, ports_per_switch)")
+    if hosts_per_switch > ports_per_switch - switch_links:
+        raise TopologyError("not enough ports for requested hosts")
+
+    rng = np.random.default_rng(seed)
+    topo = Topology(name=f"irregular-scaled-{n_switches}-s{seed}")
+    sw = [topo.add_switch(n_ports=ports_per_switch) for _ in range(n_switches)]
+    budget = {s: switch_links for s in sw}
+    cabled: set[tuple[int, int]] = set()
+
+    def connect(a: int, b: int) -> None:
+        topo.connect(a, topo.free_port(a), b, topo.free_port(b), kind=kind)
+        budget[a] -= 1
+        budget[b] -= 1
+        cabled.add((a, b) if a < b else (b, a))
+
+    # Random connected skeleton, exactly as in random_irregular.
+    order = list(rng.permutation(n_switches))
+    attached = [sw[order[0]]]
+    for idx in order[1:]:
+        s = sw[idx]
+        candidates = [t for t in attached if budget[t] > 0]
+        if not candidates:
+            raise TopologyError(
+                "port budget too tight to build a connected skeleton; "
+                "increase switch_links"
+            )
+        connect(s, candidates[int(rng.integers(len(candidates)))])
+        attached.append(s)
+
+    # Extra random cables: sample endpoint pairs directly instead of
+    # materializing the full O(n²) candidate list per cable.
+    for _ in range(4 * n_switches):
+        avail = [s for s in sw if budget[s] > 0]
+        if len(avail) < 2:
+            break
+        placed = False
+        for _attempt in range(16):
+            i = int(rng.integers(len(avail)))
+            j = int(rng.integers(len(avail)))
+            if i == j:
+                continue
+            a, b = avail[i], avail[j]
+            if ((a, b) if a < b else (b, a)) in cabled:
+                continue
+            connect(a, b)
+            placed = True
+            break
+        if not placed:
+            # Dense tail: fall back to exact enumeration once so the
+            # port budget is exhausted as thoroughly as the legacy
+            # generator would.
+            pairs = [
+                (a, b)
+                for i, a in enumerate(avail)
+                for b in avail[i + 1:]
+                if (a, b) not in cabled
+            ]
+            if not pairs:
+                break
+            connect(*pairs[int(rng.integers(len(pairs)))])
+
+    for s in sw:
+        for _ in range(hosts_per_switch):
+            topo.attach_host(s, topo.free_port(s), kind=kind)
+    topo.validate()
+    return topo
+
+
+def clos(
+    m: int,
+    n: int,
+    r: int,
+    kind: PortKind = PortKind.SAN,
+) -> Topology:
+    """A folded Clos (leaf-spine) fabric: ``r`` leaves x ``m`` spines.
+
+    Every leaf cables one uplink to every spine and carries ``n``
+    hosts; spines carry no hosts.  Fully deterministic: switch ids are
+    spines ``0..m-1`` then leaves, cables in (leaf, spine) order, hosts
+    attached leaf by leaf after all cabling.  Port counts are sized
+    exactly (spine: ``r``, leaf: ``m + n``) so the generator scales to
+    hundreds of switches without the 8-port M2FM-SW8 constraint — the
+    paper's switches are small, but the scale study needs the family.
+    """
+    if m < 1 or r < 2 or n < 1:
+        raise TopologyError("clos needs m >= 1 spines, r >= 2 leaves, n >= 1")
+    topo = Topology(name=f"clos-m{m}-n{n}-r{r}")
+    spines = [topo.add_switch(n_ports=r, name=f"spine{i}") for i in range(m)]
+    leaves = [topo.add_switch(n_ports=m + n, name=f"leaf{i}")
+              for i in range(r)]
+    for leaf in leaves:
+        for spine in spines:
+            topo.connect(leaf, topo.free_port(leaf),
+                         spine, topo.free_port(spine), kind=kind)
+    for leaf in leaves:
+        for _ in range(n):
+            topo.attach_host(leaf, topo.free_port(leaf), kind=kind)
+    topo.validate()
+    return topo
+
+
+def fat_tree(
+    k: int,
+    hosts_per_edge: int = 0,
+    kind: PortKind = PortKind.SAN,
+) -> Topology:
+    """A three-level k-ary fat tree (k pods, 5k²/4 switches).
+
+    Standard construction: ``(k/2)²`` core switches; each of ``k`` pods
+    has ``k/2`` aggregation and ``k/2`` edge switches; every edge
+    switch cables to all aggregation switches of its pod; aggregation
+    switch at position ``j`` cables to core switches ``j·k/2 ..
+    (j+1)·k/2 - 1``.  ``hosts_per_edge`` hosts attach to every edge
+    switch (default ``k/2``, the full bisection population — pass a
+    smaller count to keep host-pair counts tractable in sweeps).
+    Fully deterministic; switch ids are cores, then per-pod aggs and
+    edges; hosts attach after all cabling.
+    """
+    if k < 2 or k % 2:
+        raise TopologyError("fat_tree needs an even k >= 2")
+    half = k // 2
+    if hosts_per_edge == 0:
+        hosts_per_edge = half
+    if hosts_per_edge < 1 or hosts_per_edge > half:
+        raise TopologyError(f"hosts_per_edge must be in [1, {half}]")
+    topo = Topology(name=f"fattree-k{k}-h{hosts_per_edge}")
+    cores = [topo.add_switch(n_ports=k, name=f"core{i}")
+             for i in range(half * half)]
+    pods: list[tuple[list[int], list[int]]] = []
+    for p in range(k):
+        aggs = [topo.add_switch(n_ports=k, name=f"agg{p}.{j}")
+                for j in range(half)]
+        edges = [topo.add_switch(n_ports=k, name=f"edge{p}.{j}")
+                 for j in range(half)]
+        pods.append((aggs, edges))
+    for aggs, edges in pods:
+        for edge in edges:
+            for agg in aggs:
+                topo.connect(edge, topo.free_port(edge),
+                             agg, topo.free_port(agg), kind=kind)
+        for j, agg in enumerate(aggs):
+            for core in cores[j * half:(j + 1) * half]:
+                topo.connect(agg, topo.free_port(agg),
+                             core, topo.free_port(core), kind=kind)
+    for _aggs, edges in pods:
+        for edge in edges:
+            for _ in range(hosts_per_edge):
+                topo.attach_host(edge, topo.free_port(edge), kind=kind)
+    topo.validate()
+    return topo
+
+
+#: Generator spec grammar for :func:`make_topology` (CLI + scale study):
+#: ``name`` or ``name:key=value,key=value``.
+_SPEC_GENERATORS = {
+    "clos": (clos, {"m": "m", "n": "n", "r": "r"}),
+    "fattree": (fat_tree, {"k": "k", "hosts": "hosts_per_edge"}),
+    "random": (random_irregular,
+               {"n": "n_switches", "seed": "seed", "ports": "ports_per_switch",
+                "links": "switch_links", "hosts": "hosts_per_switch"}),
+    "random-scaled": (random_irregular_scaled,
+                      {"n": "n_switches", "seed": "seed",
+                       "ports": "ports_per_switch", "links": "switch_links",
+                       "hosts": "hosts_per_switch"}),
+    "linear": (linear_switches,
+               {"n": "n_switches", "hosts": "hosts_per_switch"}),
+    "mesh": (mesh_2d, {"rows": "rows", "cols": "cols",
+                       "hosts": "hosts_per_switch"}),
+    "torus": (torus_2d, {"rows": "rows", "cols": "cols",
+                         "hosts": "hosts_per_switch"}),
+    "star": (star_of_switches, {"leaves": "n_leaves",
+                                "hosts": "hosts_per_leaf"}),
+}
+
+
+def make_topology(spec: str) -> Topology:
+    """Build a topology from a compact generator spec string.
+
+    Examples: ``fig6``, ``fig1``, ``clos:m=4,n=1,r=12``, ``fattree:k=4``,
+    ``random:n=16,seed=7``, ``random-scaled:n=256,seed=3``,
+    ``mesh:rows=4,cols=4``.  Integer values only; unknown generators or
+    keys raise :class:`TopologyError` listing the valid choices.
+    """
+    name, _, argstr = spec.partition(":")
+    name = name.strip().lower().replace("_", "-").replace("fat-tree", "fattree")
+    if name == "fig6":
+        return fig6_testbed()[0]
+    if name == "fig1":
+        return fig1_topology()[0]
+    entry = _SPEC_GENERATORS.get(name)
+    if entry is None:
+        choices = ", ".join(["fig6", "fig1", *sorted(_SPEC_GENERATORS)])
+        raise TopologyError(f"unknown generator {name!r}; choose from {choices}")
+    fn, keymap = entry
+    kwargs = {}
+    for part in filter(None, (p.strip() for p in argstr.split(","))):
+        key, eq, value = part.partition("=")
+        key = key.strip().lower()
+        if not eq or keymap.get(key) is None:
+            valid = ", ".join(sorted(keymap))
+            raise TopologyError(
+                f"bad {name} argument {part!r}; expected key=int with "
+                f"keys from: {valid}"
+            )
+        try:
+            kwargs[keymap[key]] = int(value)
+        except ValueError:
+            raise TopologyError(
+                f"bad {name} argument {part!r}; value must be an integer"
+            ) from None
+    try:
+        return fn(**kwargs)
+    except TypeError as exc:  # missing required generator arguments
+        raise TopologyError(f"{name}: {exc}") from None

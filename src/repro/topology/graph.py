@@ -400,14 +400,40 @@ class Topology:
         return index
 
     def port_toward(self, node_a: int, node_b: int) -> int:
-        """Output port on ``node_a`` of the lowest-id link to ``node_b``."""
-        links = self.links_between(node_a, node_b)
-        if not links:
+        """Output port on ``node_a`` of the lowest-id link to ``node_b``.
+
+        Served from a flat memoized ``(from, to) -> port`` table: route
+        construction calls this once per hop of every route, and the
+        per-call list lookup through :meth:`links_between` dominated
+        batched all-pairs builds on large fabrics.
+        """
+        table = self.derived("port_toward", self._build_port_table)
+        port = table.get((node_a, node_b))
+        if port is None:
+            links = self.links_between(node_a, node_b)
+            if links:
+                # Only loopback cables are absent from the table; defer
+                # to port_at for the legacy ambiguity error.
+                return links[0].port_at(node_a)
             raise TopologyError(
                 f"no link between {self.node_name(node_a)} and"
                 f" {self.node_name(node_b)}"
             )
-        return links[0].port_at(node_a)
+        return port
+
+    def _build_port_table(self) -> dict[tuple[int, int], int]:
+        # Links iterate in ascending id order, so setdefault keeps the
+        # lowest-id cable of every parallel bundle — same pick as
+        # links_between(...)[0].  Loopbacks are skipped (their port is
+        # ambiguous; port_at raises for them, preserved above).
+        table: dict[tuple[int, int], int] = {}
+        for link in self._links:
+            if link.is_loop:
+                continue
+            (na, pa), (nb, pb) = link.endpoints()
+            table.setdefault((na, nb), pa)
+            table.setdefault((nb, na), pb)
+        return table
 
     # ------------------------------------------------------------------
     # derived graphs / validation

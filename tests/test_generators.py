@@ -6,12 +6,18 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.routing.cache import topology_signature
+from repro.routing.updown import UpDownRouter
 from repro.topology.generators import (
+    clos,
+    fat_tree,
     fig1_topology,
     fig6_testbed,
     linear_switches,
+    make_topology,
     mesh_2d,
     random_irregular,
+    random_irregular_scaled,
 )
 from repro.topology.graph import PortKind, TopologyError
 
@@ -137,3 +143,142 @@ class TestRandomIrregular:
                 key = frozenset((l.node_a, l.node_b))
                 assert key not in seen
                 seen.add(key)
+
+
+class TestClos:
+    def test_structure(self):
+        topo = clos(m=4, n=2, r=6)
+        switches = topo.switches()
+        assert len(switches) == 10
+        assert len(topo.hosts()) == 12
+        spines = [s for s in switches if not topo.hosts_on(s)]
+        leaves = [s for s in switches if topo.hosts_on(s)]
+        assert len(spines) == 4 and len(leaves) == 6
+        # Every leaf reaches every spine directly; no leaf-leaf or
+        # spine-spine cables.
+        for leaf in leaves:
+            peers = {n for (_p, n, _l) in topo.switch_neighbors(leaf)}
+            assert peers == set(spines)
+        for spine in spines:
+            peers = {n for (_p, n, _l) in topo.switch_neighbors(spine)}
+            assert peers == set(leaves)
+
+    def test_parameter_validation(self):
+        with pytest.raises(TopologyError):
+            clos(m=0, n=1, r=4)
+        with pytest.raises(TopologyError):
+            clos(m=2, n=1, r=1)
+        with pytest.raises(TopologyError):
+            clos(m=2, n=0, r=4)
+
+    @given(m=st.integers(min_value=1, max_value=6),
+           n=st.integers(min_value=1, max_value=3),
+           r=st.integers(min_value=2, max_value=10))
+    @settings(max_examples=30, deadline=None)
+    def test_always_valid_and_routable(self, m, n, r):
+        topo = clos(m=m, n=n, r=r)
+        topo.validate()
+        assert len(topo.switches()) == m + r
+        assert len(topo.hosts()) == n * r
+        # Diameter 2: every minimal path is already up*/down* legal.
+        router = UpDownRouter(topo)
+        hosts = topo.hosts()
+        route = router.itb_route(hosts[0], hosts[-1])
+        assert len(route.switch_hops()) <= 2
+
+    def test_deterministic(self):
+        a, b = clos(m=3, n=1, r=5), clos(m=3, n=1, r=5)
+        assert topology_signature(a) == topology_signature(b)
+
+
+class TestFatTree:
+    def test_structure(self):
+        k = 4
+        topo = fat_tree(k=k)
+        half = k // 2
+        assert len(topo.switches()) == 5 * k * k // 4
+        assert len(topo.hosts()) == k * half * half
+        hosted = [s for s in topo.switches() if topo.hosts_on(s)]
+        # Only edge switches carry hosts — one per pod half.
+        assert len(hosted) == k * half
+        for s in topo.switches():
+            assert len(topo.switch_neighbors(s)) <= k
+
+    def test_parameter_validation(self):
+        with pytest.raises(TopologyError):
+            fat_tree(k=3)
+        with pytest.raises(TopologyError):
+            fat_tree(k=0)
+        with pytest.raises(TopologyError):
+            fat_tree(k=4, hosts_per_edge=3)
+
+    @given(k=st.sampled_from([2, 4, 6]),
+           hosts=st.integers(min_value=1, max_value=1))
+    @settings(max_examples=10, deadline=None)
+    def test_always_valid_and_routable(self, k, hosts):
+        topo = fat_tree(k=k, hosts_per_edge=hosts)
+        topo.validate()
+        router = UpDownRouter(topo)
+        hs = topo.hosts()
+        route = router.itb_route(hs[0], hs[-1])
+        # Edge -> agg -> core -> agg -> edge: at most 4 fabric hops.
+        assert len(route.switch_hops()) <= 4
+
+    def test_deterministic(self):
+        a, b = fat_tree(k=4), fat_tree(k=4)
+        assert topology_signature(a) == topology_signature(b)
+
+
+class TestRandomIrregularScaled:
+    @given(n=st.integers(min_value=2, max_value=64),
+           seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_always_valid_and_connected(self, n, seed):
+        topo = random_irregular_scaled(n, seed=seed)
+        topo.validate()
+        assert len(topo.switches()) == n
+        assert len(topo.hosts()) == n
+        for s in topo.switches():
+            assert len(topo.switch_neighbors(s)) <= 4
+
+    def test_deterministic_for_seed(self):
+        a = random_irregular_scaled(40, seed=3)
+        b = random_irregular_scaled(40, seed=3)
+        assert topology_signature(a) == topology_signature(b)
+
+    def test_different_seeds_differ(self):
+        a = random_irregular_scaled(40, seed=3)
+        b = random_irregular_scaled(40, seed=4)
+        assert topology_signature(a) != topology_signature(b)
+
+    def test_scales_beyond_legacy_generator(self):
+        # The legacy generator's quadratic rejection sampling made
+        # triple-digit fabrics impractical; the scaled one must handle
+        # them routinely (structure asserted, wall time via CI timeout).
+        topo = random_irregular_scaled(256, seed=11)
+        topo.validate()
+        assert len(topo.switches()) == 256
+
+
+class TestMakeTopology:
+    def test_specs_round_trip(self):
+        assert len(make_topology("clos:m=4,n=1,r=12").switches()) == 16
+        assert len(make_topology("fattree:k=4").switches()) == 20
+        assert len(make_topology("random-scaled:n=24,seed=5").switches()) == 24
+        assert len(make_topology("linear:n=3").switches()) == 3
+        assert make_topology("fig6").name == "fig6-testbed"
+
+    def test_normalizes_spelling(self):
+        a = make_topology("fat_tree:k=4")
+        b = make_topology("fattree:k=4")
+        assert topology_signature(a) == topology_signature(b)
+
+    def test_rejects_unknown(self):
+        with pytest.raises(TopologyError):
+            make_topology("nope:n=4")
+        with pytest.raises(TopologyError):
+            make_topology("clos:bogus=1")
+        with pytest.raises(TopologyError):
+            make_topology("clos:m=x")
+        with pytest.raises(TopologyError):
+            make_topology("clos")  # missing required params

@@ -1,0 +1,93 @@
+"""Benchmark: selector plumbing overhead on batched route build.
+
+The adaptive-ITB tentpole routes every in-transit host choice through
+the pluggable :class:`~repro.routing.selectors.Selector` seam instead
+of calling ``first_host_policy`` directly.  That seam sits on the
+batched all-pairs build path — the scale study's hot loop — so its
+cost must stay in the noise: with no congestion view attached, a
+selector is a bounds-check and a counter bump per ITB cut.
+
+The gate: batched ITB all-pairs with a ``StaticSelector`` as the host
+policy must run at >= 0.95x the plain ``first_host_policy`` build on
+the 32-switch irregular fabric, with byte-identical routes (the
+zero-signal oracle holding at build time, not just at reselect time).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.routing.itb import ItbRouter
+from repro.routing.selectors import make_selector
+from repro.routing.spanning_tree import build_orientation
+from repro.topology.generators import random_irregular
+
+#: The adaptive-ITB study fabric's larger rung.
+_N_SWITCHES = 32
+_SEED = 11
+_HOSTS_PER_SWITCH = 2
+
+
+def _bench_topology():
+    return random_irregular(_N_SWITCHES, seed=_SEED,
+                            hosts_per_switch=_HOSTS_PER_SWITCH)
+
+
+def _interleaved_best(fn_a, fn_b, rounds: int = 10) -> tuple[float, float]:
+    """Best-of-N for two workloads with their rounds interleaved.
+
+    Sequential best-of blocks are vulnerable to differential drift on
+    shared/throttled runners (one arm's whole block lands on a slow
+    phase and the ratio swings +/-30%); alternating rounds makes any
+    slowdown hit both arms equally.
+    """
+    fn_a()
+    fn_b()
+    best_a = best_b = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn_a()
+        best_a = min(best_a, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        fn_b()
+        best_b = min(best_b, time.perf_counter() - t0)
+    return best_a, best_b
+
+
+def test_bench_selector_overhead(benchmark, bench_headline):
+    """Selector-as-host-policy must cost <= 5% on batched all-pairs."""
+    topo = _bench_topology()
+    orientation = build_orientation(topo)
+
+    def with_selector():
+        return ItbRouter(
+            topo, orientation, host_policy=make_selector("static"),
+        ).all_pairs()
+
+    def plain():
+        return ItbRouter(topo, orientation).all_pairs()
+
+    routes = benchmark(with_selector)
+
+    # Zero-signal oracle at build time: same routes, same order.
+    oracle = plain()
+    assert list(routes) == list(oracle)
+    assert routes == oracle
+
+    # A reading below the gate on shared runners is usually scheduler
+    # noise, not plumbing cost — re-measure before failing, keep the
+    # best ratio observed (systematic overhead reproduces every time).
+    for _ in range(3):
+        selector_s, plain_s = _interleaved_best(with_selector, plain)
+        ratio = plain_s / selector_s
+        if ratio >= 0.95:
+            break
+    bench_headline["speedup_ratio"] = round(ratio, 3)
+    bench_headline["selector_s"] = round(selector_s, 6)
+    bench_headline["plain_s"] = round(plain_s, 6)
+    bench_headline["n_pairs"] = len(oracle)
+    assert ratio >= 0.95, (
+        f"selector plumbing slowed batched all-pairs to {ratio:.2f}x"
+        f" of the plain host policy (selector {selector_s * 1e3:.0f} ms,"
+        f" plain {plain_s * 1e3:.0f} ms)"
+    )

@@ -139,6 +139,7 @@ def build_network(
     routing: Optional[Union[str, RoutingKind]] = None,
     timings: Optional[Timings] = None,
     route_cache: Optional["RouteCache"] = None,
+    host_policy=None,
 ) -> BuiltNetwork:
     """Build a complete simulated installation.
 
@@ -157,6 +158,12 @@ def build_network(
         serves the all-pairs route tables from it instead of
         recomputing them per build (the experiment runner passes a
         shared cache so repeated points pay the route cost once).
+    host_policy:
+        Optional in-transit host chooser for ITB routing (a
+        :class:`~repro.routing.selectors.Selector` or plain
+        :data:`~repro.routing.itb.HostPolicy`); forwarded to the
+        mapper, which bypasses the shared route cache for
+        policy-dependent tables.
     """
     if config is None:
         config = NetworkConfig()
@@ -203,6 +210,7 @@ def build_network(
     orientation = run_mapper(
         topo, nics, routing=config.routing.value,
         overrides=route_overrides, root=config.root, cache=route_cache,
+        host_policy=host_policy,
     )
     return BuiltNetwork(
         sim=sim, topo=topo, fabric=fabric, nics=nics, gm_hosts=gm_hosts,

@@ -21,6 +21,7 @@ __all__ = [
     "AblationBufpoolExperiment",
     "AblationLoadExperiment",
     "AblationTimingExperiment",
+    "AdaptiveItbExperiment",
     "AppsExperiment",
     "FaultCampaignExperiment",
     "Fig7Experiment",
@@ -1156,3 +1157,179 @@ class ScaleStudyExperiment(Experiment):
         return (f"{table}\n\n{'; '.join(notes)}\n"
                 "sat-bound = analytic uniform-traffic saturation"
                 " (bytes/ns/host); route-s = batched all-pairs wall time")
+
+
+@register_experiment("adaptive-itb",
+                     "EXP-A7 static vs adaptive ITB host selection")
+class AdaptiveItbExperiment(Experiment):
+    """Static vs congestion-aware in-transit host selection.
+
+    Sweeps every :data:`~repro.routing.selectors.SELECTOR_NAMES` policy
+    against the static baseline under hotspot and shifting traffic on
+    the irregular study fabrics; the harness details (matrices, the
+    busiest-default-ITB-host hotspot, the live occupancy view) live in
+    :mod:`repro.harness.adaptive`.
+    """
+
+    cli_options = (
+        CliOption.make("--switches", type=int, nargs="+", default=[8, 32]),
+        CliOption.make("--packet-size", type=int, default=512),
+        CliOption.make("--rate", type=float, default=0.06,
+                       help="offered load (bytes/ns/host)"),
+        CliOption.make("--duration", type=float, default=120.0,
+                       help="measurement window (us)"),
+        CliOption.make("--hosts-per-switch", type=int, default=2),
+        CliOption.make("--seed", type=int, default=11),
+        CliOption.make("--policies", nargs="+", default=None,
+                       help="selector policies (default: all)"),
+        CliOption.make("--matrices", nargs="+",
+                       default=["hotspot", "shifting"]),
+        CliOption.make("--fraction", type=float, default=0.35,
+                       help="hotspot traffic fraction"),
+        CliOption.make("--interval", type=float, default=10.0,
+                       help="reselection interval (us)"),
+        CliOption.make("--view", choices=("live", "zero"), default="live",
+                       help="congestion signal (zero = oracle arm)"),
+        CliOption.make("--quick", action="store_true",
+                       help="8 switches only, short window (CI smoke)"),
+    )
+
+    def default_spec(self) -> ExperimentSpec:
+        from repro.routing.selectors import SELECTOR_NAMES
+
+        return ExperimentSpec(
+            experiment="adaptive-itb", n_switches=8, topo_seed=11,
+            hosts_per_switch=2, packet_size=512, rates=(0.06,),
+            duration_ns=120_000.0, warmup_ns=30_000.0,
+            params={
+                "switch_list": (8, 32),
+                "policies": tuple(SELECTOR_NAMES),
+                "matrices": ("hotspot", "shifting"),
+                "fraction": 0.35,
+                "interval_ns": 10_000.0,
+                "shift_period_ns": 40_000.0,
+                "view": "live",
+                "selector_seed": 2001,
+            },
+        )
+
+    def points(self, spec: ExperimentSpec) -> list[dict]:
+        return [
+            {"policy": policy, "matrix": matrix,
+             "n_switches": n, "rate": rate}
+            for n in spec.params["switch_list"]
+            for matrix in spec.params["matrices"]
+            for policy in spec.params["policies"]
+            for rate in spec.rates
+        ]
+
+    def measure(self, spec: ExperimentSpec, point: dict, ctx: Any) -> Any:
+        from repro.harness.adaptive import measure_adaptive_point
+
+        return measure_adaptive_point(
+            policy=point["policy"],
+            matrix=point["matrix"],
+            rate=point["rate"],
+            n_switches=point["n_switches"],
+            packet_size=spec.packet_size,
+            duration_ns=spec.duration_ns,
+            warmup_ns=spec.warmup_ns,
+            topo_seed=spec.topo_seed,
+            traffic_seed=spec.traffic_seed,
+            hosts_per_switch=spec.hosts_per_switch,
+            fraction=float(spec.params["fraction"]),
+            interval_ns=float(spec.params["interval_ns"]),
+            shift_period_ns=float(spec.params["shift_period_ns"]),
+            view=spec.params["view"],
+            selector_seed=int(spec.params["selector_seed"]),
+            timings=spec.timings,
+            build=ctx.build,
+        )
+
+    def summarize(self, spec: ExperimentSpec, results: Sequence[Any]) -> Any:
+        from repro.harness.adaptive import AdaptiveItbResult
+
+        return AdaptiveItbResult(
+            packet_size=spec.packet_size,
+            topo_seed=spec.topo_seed,
+            hosts_per_switch=spec.hosts_per_switch,
+            rows=list(results),
+        )
+
+    def route_requirements(
+        self, spec: ExperimentSpec
+    ) -> Iterable[tuple[Topology, str, Optional[int]]]:
+        for n in spec.params["switch_list"]:
+            yield (
+                _random_topology(spec.replace(n_switches=n)), "itb", None,
+            )
+
+    def spec_from_args(self, args: Any) -> ExperimentSpec:
+        from repro.routing.selectors import SELECTOR_NAMES
+
+        policies = tuple(args.policies) if args.policies else SELECTOR_NAMES
+        spec = self.default_spec()
+        spec = spec.replace(
+            packet_size=args.packet_size,
+            rates=(args.rate,),
+            duration_ns=args.duration * 1000.0,
+            warmup_ns=args.duration * 250.0,
+            hosts_per_switch=args.hosts_per_switch,
+            topo_seed=args.seed,
+            params={
+                **spec.params,
+                "switch_list": tuple(args.switches),
+                "policies": policies,
+                "matrices": tuple(args.matrices),
+                "fraction": args.fraction,
+                "interval_ns": args.interval * 1000.0,
+                "view": args.view,
+            },
+        )
+        if args.quick:
+            # Small fabric, abbreviated window: the hotspot sits on the
+            # busiest in-transit host, so the static-vs-adaptive gap is
+            # visible well before the full window closes.
+            spec = spec.replace(
+                duration_ns=60_000.0, warmup_ns=15_000.0,
+                params={**spec.params, "switch_list": (8,)},
+            )
+        return spec
+
+    def render(self, spec: ExperimentSpec, result: Any, args: Any) -> str:
+        from repro.harness.report import format_table
+
+        rows = []
+        for r in result.rows:
+            rows.append((
+                r.n_switches, r.matrix, r.policy,
+                f"{r.p99_latency_ns / 1000:.1f}",
+                f"{r.mean_latency_ns / 1000:.1f}",
+                f"{r.accepted:.4f}",
+                r.reselect_changed, r.engaged,
+            ))
+        table = format_table(
+            ["sw", "matrix", "policy", "p99 (us)", "mean (us)",
+             "accepted", "moved", "engaged"],
+            rows,
+            title="EXP-A7 — static vs adaptive ITB host selection",
+        )
+        verdicts = []
+        for n in spec.params["switch_list"]:
+            for matrix in spec.params["matrices"]:
+                best = result.best_adaptive(matrix, n)
+                if best is None:
+                    continue
+                static = result.p99("static", matrix, n)
+                if result.adaptive_beats_static(matrix, n):
+                    gain = 100.0 * (1.0 - best[1] / static)
+                    verdicts.append(
+                        f"{matrix}@{n}sw: {best[0]} beats static p99"
+                        f" by {gain:.1f}%")
+                else:
+                    verdicts.append(
+                        f"{matrix}@{n}sw: static holds (best adaptive"
+                        f" {best[0]})")
+        return (f"{table}\n\n{'; '.join(verdicts)}\n"
+                "moved = route installs by reselection; engaged ="
+                " selector decisions diverted off the static pick")

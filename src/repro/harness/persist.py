@@ -26,6 +26,7 @@ from typing import Any, Optional, Union
 from repro.harness.ablations import (AblationLoadResult,
                                      BufferPoolStudyResult,
                                      TimingSweepResult)
+from repro.harness.adaptive import AdaptiveItbResult
 from repro.harness.apps import AppsResult
 from repro.harness.faultcamp import FaultCampaignResult
 from repro.harness.fig7 import Fig7Result
@@ -43,6 +44,7 @@ _FORMAT_VERSION = 2
 #: kind name -> result dataclass; the single registry the generic
 #: codec needs (both directions are derived from it).
 _RESULT_KINDS: dict[str, type] = {
+    "adaptive-itb": AdaptiveItbResult,
     "fault-campaign": FaultCampaignResult,
     "fig7": Fig7Result,
     "fig8": Fig8Result,

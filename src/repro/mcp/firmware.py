@@ -505,6 +505,13 @@ class ItbFirmware(Firmware):
             tr.begin("itb_detect", t_start, component=self._trace_component)
         # Event-handler dispatch + in-transit detection code.
         yield Timeout(arbiter.scaled(t.cycles(t.itb_early_recv_cycles)))
+        if tp.dropped:
+            # Killed (fault) while the detection code ran: the loss
+            # path already freed this host's buffer slot — do not
+            # re-inject or take ownership of the release.
+            if tr is not None:
+                tr.finish("itb_detect", self.sim.now)
+            return
         _remaining_len, image2 = worm.image.strip_itb_stage()
         tp.image = image2
         tp.seg_index += 1

@@ -221,7 +221,15 @@ class FaultInjector:
 
     def _mark_lost(self, worm: "Worm", reason: str) -> None:
         tp: Optional["TransitPacket"] = worm.meta.get("tp")
-        if tp is None or getattr(tp, "_fault_lost", False):
+        if tp is None:
+            return
+        # Unwedge the sender first, and on every kill: its send engine
+        # holds until the drain event fires, even when this packet was
+        # already counted lost on an earlier segment.
+        drained = worm.meta.get("on_drained")
+        if drained is not None and not drained.triggered:
+            drained.succeed()
+        if getattr(tp, "_fault_lost", False):
             return
         tp._fault_lost = True  # type: ignore[attr-defined]
         self.plan.killed_in_flight += 1
@@ -233,19 +241,23 @@ class FaultInjector:
             src_nic.stats.packets_lost_in_flight += 1
             src_nic.emit("fault_killed", pid=tp.pid, reason=reason)
         # Free a receive-buffer slot the destination may already hold
-        # for this packet (claimed at on_header, never to complete).
+        # for this packet (claimed at on_header, never to complete) —
+        # unless cut-through forwarding already took ownership: once an
+        # in-transit host advanced ``seg_index`` past this worm's
+        # segment, its re-injection drain frees the slot, and a second
+        # release here would corrupt the buffer accounting.
         fw = getattr(worm, "observer", None)
-        if fw is not None and getattr(fw, "nic", None) is not None:
+        forward_owns = (
+            tp.seg_index < len(tp.route.segments)
+            and tp.route.segments[tp.seg_index] is not worm.segment
+        )
+        if fw is not None and getattr(fw, "nic", None) is not None \
+                and not forward_owns:
             try:
                 fw.nic.recv_buffers.release(tp)
                 fw._admit_recv_waiter()
             except Exception:
                 pass  # packet was not (or no longer) buffered there
-        # Unwedge the sender: its send engine holds until the drain
-        # event fires.
-        drained = worm.meta.get("on_drained")
-        if drained is not None and not drained.triggered:
-            drained.succeed()
         on_delivered, tp.on_delivered = tp.on_delivered, None
         if on_delivered is not None:
             on_delivered(tp)

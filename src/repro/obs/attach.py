@@ -32,6 +32,11 @@ Metric catalog (see ``docs/OBSERVABILITY.md`` for details):
   ``route_cache_batch_hits`` — shared route-cache behaviour (attached
   when a cache is passed); batch hits count per-source route trees
   served whole off a warm batched entry,
+* ``itb_reselect_{runs,forced,pairs_changed,decisions,engaged}`` —
+  adaptive ITB host-selection counters, resolved lazily from the
+  attached :class:`~repro.gm.mapper.ItbReselector` (zero, and
+  filtered from snapshots, without one — see
+  ``docs/ADAPTIVE_ITB.md``),
 * ``partition_{windows,messages,dropped}`` /
   ``partition_sync_stall_seconds`` — partitioned-engine barrier
   telemetry (:func:`attach_partition_engine`, see
@@ -53,7 +58,8 @@ from repro.obs.sampler import Sampler
 if TYPE_CHECKING:  # pragma: no cover - import-cycle guard
     from repro.core.builder import BuiltNetwork
 
-__all__ = ["Telemetry", "attach_partition_engine", "attach_route_cache",
+__all__ = ["RegistryCongestionView", "Telemetry", "attach_congestion_view",
+           "attach_partition_engine", "attach_route_cache",
            "instrument_network"]
 
 #: Help strings for the NicStats-backed counters.
@@ -91,6 +97,22 @@ _GM_COUNTERS = {
                        "connections failed by budget exhaustion"),
     "gm_route_failures": ("route_failures",
                           "sends with no route on the degraded fabric"),
+}
+
+#: ItbReselector counter attributes published network-wide.
+_ITB_RESELECT_COUNTERS = {
+    "itb_reselect_runs": ("runs",
+                          "in-transit host reselection passes executed"),
+    "itb_reselect_forced": ("forced",
+                            "reselections forced by a fault remap"),
+    "itb_reselect_pairs_changed": ("pairs_changed",
+                                   "host pairs whose stamped ITB route"
+                                   " moved to another in-transit host"),
+    "itb_reselect_decisions": ("decisions",
+                               "selector invocations (one per ITB cut)"),
+    "itb_reselect_engaged": ("engaged",
+                             "decisions where live congestion diverted"
+                             " the static pick"),
 }
 
 #: FaultPlan counter attributes published network-wide.
@@ -173,6 +195,59 @@ def _attach_faults(registry: MetricsRegistry, fabric) -> None:
             fn=lambda f=fabric, a=attr: getattr(
                 f.meta.get("fault_plan"), a, 0),
         )
+
+
+def _attach_itb_reselect(registry: MetricsRegistry, fabric) -> None:
+    # The reselector may be installed after instrumentation (the
+    # harness attaches telemetry first so the congestion view can read
+    # the registry): resolve it lazily from fabric.meta at observation
+    # time.  Without one every counter reads zero and observe()'s zero
+    # filter keeps snapshots (and goldens) unchanged.
+    for name, (attr, help_) in _ITB_RESELECT_COUNTERS.items():
+        registry.counter(
+            name, component="mapper", help=help_,
+            fn=lambda f=fabric, a=attr: getattr(
+                f.meta.get("itb_reselector"), a, 0),
+        )
+
+
+class RegistryCongestionView:
+    """Live :class:`~repro.routing.selectors.CongestionView` over the
+    registry's per-NIC buffer occupancy gauges.
+
+    This is the read-only signal feeding adaptive ITB host selection:
+    ``host_load(h)`` reads the ``nic_recv_buffer_occupancy_bytes``
+    gauge of host ``h`` — callback-backed, so every read reports the
+    buffers' *current* fill, no sampling loop required.  Routing never
+    imports this module; the view object is handed to the selector
+    duck-typed, exactly like ``fabric.tracer``.
+    """
+
+    def __init__(self, gauges: dict[int, "object"]) -> None:
+        self._gauges = gauges
+
+    def host_load(self, host: int) -> float:
+        """Bytes currently held in ``host``'s receive/ITB buffers."""
+        gauge = self._gauges.get(host)
+        return 0.0 if gauge is None else float(gauge.value)
+
+
+def attach_congestion_view(net: "BuiltNetwork",
+                           registry: MetricsRegistry
+                           ) -> RegistryCongestionView:
+    """Build the congestion view adaptive selectors consume.
+
+    Resolves each host's ``nic_recv_buffer_occupancy_bytes`` gauge
+    from ``registry`` (so the registry must already be attached via
+    :func:`instrument_network`) and maps it back to the host id.
+    """
+    gauges: dict[int, object] = {}
+    for host, nic in net.nics.items():
+        gauges[host] = registry.get(
+            "nic_recv_buffer_occupancy_bytes",
+            component=f"nic[{nic.name}]",
+        )
+    return RegistryCongestionView(gauges)
 
 
 def _attach_express(registry: MetricsRegistry, fabric) -> None:
@@ -353,6 +428,7 @@ def instrument_network(
         _attach_nic(registry, nic)
     _attach_express(registry, net.fabric)
     _attach_faults(registry, net.fabric)
+    _attach_itb_reselect(registry, net.fabric)
     if route_cache is not None:
         attach_route_cache(registry, route_cache)
     if net.fabric.n_lanes > 1:

@@ -8,6 +8,9 @@ Implements the routing machinery the paper builds on:
 * true minimal routes (:mod:`repro.routing.minimal`),
 * **In-Transit Buffer routes** — minimal routes split into valid
   up*/down* segments at in-transit hosts (:mod:`repro.routing.itb`),
+* pluggable, congestion-aware in-transit host selection — static /
+  random / round-robin / least-loaded / EWMA policies over a
+  duck-typed occupancy view (:mod:`repro.routing.selectors`),
 * channel-dependency-graph deadlock checking (:mod:`repro.routing.cdg`),
 * per-host route tables as stamped into NIC SRAM by the mapper
   (:mod:`repro.routing.tables`),
@@ -36,15 +39,26 @@ from repro.routing.cache import (
     default_route_cache,
     topology_signature,
 )
+from repro.routing.selectors import (
+    SELECTOR_NAMES,
+    CongestionView,
+    MapCongestionView,
+    Selector,
+    make_selector,
+)
 
 __all__ = [
+    "CongestionView",
     "Direction",
     "ItbRoute",
     "ItbRouter",
+    "MapCongestionView",
     "MinimalRouter",
     "RouteCache",
     "RouteError",
     "RouteTable",
+    "SELECTOR_NAMES",
+    "Selector",
     "SourceRoute",
     "UpDownOrientation",
     "UpDownRouter",
@@ -55,5 +69,6 @@ __all__ = [
     "default_route_cache",
     "find_dependency_cycle",
     "is_deadlock_free",
+    "make_selector",
     "topology_signature",
 ]

@@ -90,7 +90,7 @@ class TestProjectDocs:
                 / "EXPERIMENTS.md").read_text()
         for exp in ("EXP-F7", "EXP-F8", "EXP-F1", "EXP-M1", "EXP-M1b",
                     "EXP-M1c", "EXP-M2", "EXP-A1", "EXP-A2", "EXP-A3",
-                    "EXP-A4", "EXP-A5", "EXP-A6"):
+                    "EXP-A4", "EXP-A5", "EXP-A6", "EXP-A7"):
             assert exp in text, f"{exp} undocumented in EXPERIMENTS.md"
 
     def test_design_experiment_index_covers_benches(self):
@@ -102,7 +102,8 @@ class TestProjectDocs:
         for bench in sorted((root / "benchmarks").glob("test_bench_*.py")):
             if bench.name in ("test_bench_engine.py",
                               "test_bench_tracing.py",
-                              "test_bench_routing.py"):
+                              "test_bench_routing.py",
+                              "test_bench_selection.py"):
                 continue  # performance guard, not a paper experiment
             assert bench.name in design, (
                 f"{bench.name} missing from DESIGN.md's experiment index")

@@ -96,3 +96,103 @@ class TestFaultFastpathComposition:
         assert ex_stats.hits > 0
         assert st_stats.hits == 0
         assert st_stats.fallbacks > 0
+
+
+class TestFaultAdaptiveComposition:
+    """Faults x adaptive selection: link-down remap is a *forced*
+    reselection through the same selector, so a loaded default
+    in-transit host must stay avoided across fault and repair, while
+    the reliable-GM delivery guarantees hold unchanged."""
+
+    def test_linkdown_remap_with_least_loaded_converges_legal(self):
+        from repro.gm.mapper import ItbReselector
+        from repro.routing.cdg import is_deadlock_free
+        from repro.routing.selectors import (MapCongestionView,
+                                             make_selector)
+        from repro.topology.generators import random_irregular
+
+        cfg = NetworkConfig(
+            firmware="itb", routing="itb", reliable=True, seed=17,
+            timings=Timings().with_overrides(host_jitter_sigma_ns=0.0),
+        )
+        topo = random_irregular(8, seed=11, hosts_per_switch=2)
+        net = build_network(topo, config=cfg)
+
+        def itb_pairs():
+            pairs = []
+            for src in sorted(net.nics):
+                table = net.nics[src].route_table
+                for dst in table.destinations():
+                    route = table.entries[dst]
+                    if len(route.segments) > 1:
+                        pairs.append((src, dst, route))
+            return pairs
+
+        pairs = itb_pairs()
+        assert pairs, "study fabric must route some pairs via an ITB"
+        src, dst, route = pairs[0]
+        default_host = route.itb_hosts[0]
+        candidates = net.topo.hosts_on(net.topo.switch_of(default_host))
+        assert len(candidates) >= 2, "need an alternate split to move to"
+
+        # Load the static pick; every remap must now avoid it.
+        view = MapCongestionView({default_host: 4096.0})
+        reselector = ItbReselector(
+            net, make_selector("least-loaded", view=view))
+
+        # Cut the first inter-switch hop of the pair's static route.
+        hop = route.segments[0].switch_path[:2]
+        down = next(link.link_id for link in net.topo.links
+                    if {link.node_a, link.node_b} == set(hop))
+        plan = FaultPlan(
+            loss_probability=0.1, corrupt_probability=0.05, seed=9,
+            events=(FaultEvent(kind="link-down", target=down,
+                               at_ns=120_000.0, repair_ns=250_000.0),),
+        )
+        install_fault_plan(net, plan)
+
+        sim = net.sim
+        a, b = net.gm_hosts[src], net.gm_hosts[dst]
+        records = []
+
+        def receiver(gm):
+            while True:
+                msg = yield gm.receive()
+                records.append((gm.host, msg.src, msg.tag))
+
+        def sender(gm, to, n, gap_ns):
+            for i in range(n):
+                gm.send(to, 2048, tag=i)
+                yield Timeout(gap_ns)
+
+        sim.process(receiver(a), name="rx-a")
+        sim.process(receiver(b), name="rx-b")
+        sim.process(sender(a, dst, 8, 60_000.0), name="tx-a")
+        sim.process(sender(b, src, 8, 60_000.0), name="tx-b")
+        sim.run(until=100_000_000)
+
+        # Reliable GM delivered everything, in the face of the fault.
+        assert sorted(records) == sorted(
+            [(dst, src, i) for i in range(8)]
+            + [(src, dst, i) for i in range(8)])
+        assert a.messages_received == 8 and b.messages_received == 8
+
+        # The fault really forced reselection through the selector.
+        assert plan.remap_events > 0
+        assert reselector.forced >= 1
+        assert reselector.selector.engaged > 0
+
+        # Converged state: a legal alternate split off the loaded host.
+        post = itb_pairs()
+        assert post, "repair must restore the ITB routes"
+        loaded_switch = net.topo.switch_of(default_host)
+        for _s, _d, r in post:
+            for host, nxt in zip(r.itb_hosts, r.segments[1:]):
+                assert nxt.src == host
+                assert host in net.topo.hosts_on(net.topo.switch_of(host))
+                if net.topo.switch_of(host) == loaded_switch:
+                    assert host != default_host
+        assert is_deadlock_free(
+            net.topo,
+            [r for s in sorted(net.nics)
+             for r in net.nics[s].route_table.entries.values()])
